@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation: CAMEO vs CAMEO-Freq (Section VI-D's closing suggestion —
+ * frequency-directed swap admission). The filter should help the
+ * migration-hostile workloads (poor spatial/temporal locality means
+ * most swaps never pay off) and be neutral where CAMEO already keeps
+ * its stacked slots hot.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    const SystemConfig config = benchConfig();
+    const std::vector<DesignPoint> points{
+        point("CAMEO", OrgKind::Cameo, config),
+        point("CAMEO-Freq", OrgKind::CameoFreq, config),
+    };
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Ablation: frequency-directed swap admission "
+                 "(Section VI-D extension)\n";
+    const auto rows = runComparison(config, points, workloads, &std::cout);
+    printSpeedupTable("CAMEO vs CAMEO-Freq", points, rows, std::cout);
+
+    std::cout << "\nOff-chip write traffic saved by the filter:\n";
+    for (const auto &row : rows) {
+        const double stock =
+            static_cast<double>(row.runs[0].offchipBytes);
+        const double freq =
+            static_cast<double>(row.runs[1].offchipBytes);
+        std::cout << "  " << row.workload.name << ": "
+                  << TextTable::cell(100.0 * (1.0 - freq / stock), 1)
+                  << "% fewer off-chip bytes\n";
+    }
+    return 0;
+}

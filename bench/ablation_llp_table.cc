@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation (beyond the paper's published data): Line Location Predictor
+ * table size. Section V claims "a 256-entry (8-bit index) table is
+ * quite effective"; this sweep shows the accuracy/speedup curve from a
+ * single shared register (1 entry — the paper's strawman "single LLR")
+ * up to 4K entries per core.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+#include "util/math.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    SystemConfig base = benchConfig();
+    base.lltKind = LltKind::CoLocated;
+    base.predictorKind = PredictorKind::Llp;
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Ablation: LLP table size (per core)\n";
+
+    TextTable table("LLP table-size sweep (geometric means over " +
+                    std::to_string(workloads.size()) + " workloads)");
+    table.setHeader({"Entries/core", "Storage/core", "Gmean speedup",
+                     "Mean accuracy%"});
+    for (const std::uint32_t entries : {1u, 16u, 64u, 256u, 1024u, 4096u}) {
+        SystemConfig config = base;
+        config.llpTableEntries = entries;
+        std::vector<double> speedups, accuracies;
+        for (const auto &wl : workloads) {
+            std::cout << "  [" << entries << "/" << wl.name << "]..."
+                      << std::flush;
+            const RunResult b =
+                runWorkload(config, OrgKind::Baseline, wl);
+            const RunResult r = runWorkload(config, OrgKind::Cameo, wl);
+            speedups.push_back(
+                speedup(static_cast<double>(b.execTime),
+                        static_cast<double>(r.execTime)));
+            accuracies.push_back(100.0 * r.llpAccuracy);
+        }
+        std::cout << "\n";
+        table.addRow({TextTable::cell(std::uint64_t{entries}),
+                      std::to_string(entries * 2 / 8) + " B",
+                      TextTable::cell(geometricMean(speedups)),
+                      TextTable::cell(arithmeticMean(accuracies), 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries.
+ *
+ * Every bench regenerates one artifact of the paper's evaluation on
+ * the scaled default configuration. Trace length can be overridden
+ * with the CAMEO_BENCH_ACCESSES environment variable (accesses per
+ * core) and the workload set narrowed with CAMEO_BENCH_WORKLOADS
+ * (comma-separated benchmark names) for quick runs.
+ */
+
+#ifndef CAMEO_BENCH_BENCH_COMMON_HH
+#define CAMEO_BENCH_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "system/config.hh"
+#include "system/experiment.hh"
+#include "trace/workloads.hh"
+
+namespace cameo::bench
+{
+
+/** Default config with the env-var trace-length override applied. */
+inline SystemConfig
+benchConfig()
+{
+    SystemConfig config = defaultConfig();
+    if (const char *env = std::getenv("CAMEO_BENCH_ACCESSES"))
+        config.accessesPerCore = std::strtoull(env, nullptr, 10);
+    return config;
+}
+
+/** Workload list, optionally narrowed by CAMEO_BENCH_WORKLOADS. */
+inline std::vector<WorkloadProfile>
+benchWorkloads()
+{
+    const char *env = std::getenv("CAMEO_BENCH_WORKLOADS");
+    if (env == nullptr)
+        return allWorkloads();
+    std::vector<WorkloadProfile> out;
+    std::string names(env);
+    std::size_t pos = 0;
+    while (pos <= names.size()) {
+        const std::size_t comma = names.find(',', pos);
+        const std::string name =
+            names.substr(pos, comma == std::string::npos ? std::string::npos
+                                                         : comma - pos);
+        if (const WorkloadProfile *profile = findWorkload(name))
+            out.push_back(*profile);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Design point with the shared bench config. */
+inline DesignPoint
+point(std::string label, OrgKind kind, const SystemConfig &config)
+{
+    return DesignPoint{std::move(label), kind, config};
+}
+
+} // namespace cameo::bench
+
+#endif // CAMEO_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 2 (motivation): performance of stacked DRAM as hardware cache,
+ * as Two-Level Memory with and without page migration, and as the
+ * idealistic DoubleUse system.
+ *
+ * Paper: Cache +50% overall but marginal for Capacity-Limited;
+ * TLM-Static +33% overall (+67% capacity / +18% latency);
+ * TLM-Dynamic +50% but *below* TLM-Static for Capacity-Limited
+ * (migration bandwidth); DoubleUse +82%.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    const SystemConfig config = benchConfig();
+    const std::vector<DesignPoint> points{
+        point("Cache", OrgKind::AlloyCache, config),
+        point("TLM-Static", OrgKind::TlmStatic, config),
+        point("TLM-Dynamic", OrgKind::TlmDynamic, config),
+        point("DoubleUse", OrgKind::DoubleUse, config),
+    };
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Reproducing Figure 2: motivation — cache vs "
+                 "two-level-memory vs idealistic DoubleUse\n";
+    const auto rows = runComparison(config, points, workloads, &std::cout);
+    printSpeedupTable("Figure 2: Speedup over baseline", points, rows,
+                      std::cout);
+    return 0;
+}

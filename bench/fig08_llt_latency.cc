@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 8: analytic access-latency comparison of the LLT designs for
+ * a single request serviced in isolation, in both latency units (the
+ * paper normalizes stacked = 1 unit, off-chip = 2 units) and the
+ * actual unloaded cycle counts of the Table I modules.
+ *
+ * Cases: H = requested line resident in stacked DRAM, M = resident in
+ * off-chip DRAM. Paper's unit results:
+ *   Baseline       M: 2
+ *   Ideal-LLT      H: 1, M: 2
+ *   Embedded-LLT   H: 2, M: 3
+ *   Co-Located     H: 1, M: 3
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/lead_layout.hh"
+#include "dram/timings.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    const DramTimings stacked = stackedTimings();
+    const DramTimings offchip = offchipTimings();
+
+    const double s_line =
+        static_cast<double>(stacked.idleLatency(kLineBytes));
+    const double s_lead = static_cast<double>(
+        stacked.idleLatency(LeadLayout::kLeadBurstBytes));
+    const double o_line =
+        static_cast<double>(offchip.idleLatency(kLineBytes));
+
+    // The paper's unit: one stacked access.
+    const auto units = [&](double cycles) { return cycles / s_line; };
+
+    TextTable table("Figure 8: Unloaded access latency per LLT design "
+                    "(cycles at 3.2GHz; units of one stacked access)");
+    table.setHeader({"Design", "Hit cycles", "Hit units", "Miss cycles",
+                     "Miss units"});
+
+    // Baseline: every access goes off-chip.
+    table.addRow({"Baseline(no stacked)", "-", "-",
+                  TextTable::cell(o_line, 0),
+                  TextTable::cell(units(o_line), 2)});
+    // Ideal-LLT: location known instantly.
+    table.addRow({"Ideal-LLT", TextTable::cell(s_line, 0),
+                  TextTable::cell(units(s_line), 2),
+                  TextTable::cell(o_line, 0),
+                  TextTable::cell(units(o_line), 2)});
+    // Embedded-LLT: LLT read, then data access.
+    table.addRow({"Embedded-LLT", TextTable::cell(s_line + s_line, 0),
+                  TextTable::cell(units(s_line + s_line), 2),
+                  TextTable::cell(s_line + o_line, 0),
+                  TextTable::cell(units(s_line + o_line), 2)});
+    // Co-Located LLT: LEAD read covers LLT+data on a hit; a miss
+    // serializes the off-chip access behind the LEAD read.
+    table.addRow({"CoLocated-LLT", TextTable::cell(s_lead, 0),
+                  TextTable::cell(units(s_lead), 2),
+                  TextTable::cell(s_lead + o_line, 0),
+                  TextTable::cell(units(s_lead + o_line), 2)});
+    // Co-Located + correct off-chip prediction: parallel fetch.
+    table.addRow({"CoLocated+LLP(correct)", TextTable::cell(s_lead, 0),
+                  TextTable::cell(units(s_lead), 2),
+                  TextTable::cell(std::max(s_lead, o_line), 0),
+                  TextTable::cell(units(std::max(s_lead, o_line)), 2)});
+    table.print(std::cout);
+
+    std::cout << "\nNote: stacked line access = " << s_line
+              << " cycles; LEAD (80B) = " << s_lead
+              << " cycles; off-chip line = " << o_line
+              << " cycles — the paper's 1-vs-2-unit ratio.\n";
+    return 0;
+}

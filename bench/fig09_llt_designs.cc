@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 9: speedup of the three Line Location Table designs —
+ * Ideal-LLT (zero overhead), Embedded-LLT (serial lookup from a
+ * reserved stacked region), and Co-Located LLT (LEAD) — all without
+ * location prediction (serial access, SAM), as in the paper's
+ * Section IV evaluation.
+ *
+ * Paper: Embedded-LLT slows down latency-sensitive workloads;
+ * Co-Located reaches +74% vs Ideal's +80%, the gap coming from
+ * serialized off-chip accesses.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    SystemConfig base = benchConfig();
+    base.predictorKind = PredictorKind::Sam;
+
+    SystemConfig ideal = base;
+    ideal.lltKind = LltKind::Ideal;
+    SystemConfig embedded = base;
+    embedded.lltKind = LltKind::Embedded;
+    SystemConfig colocated = base;
+    colocated.lltKind = LltKind::CoLocated;
+
+    const std::vector<DesignPoint> points{
+        point("Ideal-LLT", OrgKind::Cameo, ideal),
+        point("Embedded-LLT", OrgKind::Cameo, embedded),
+        point("CoLocated-LLT", OrgKind::Cameo, colocated),
+    };
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Reproducing Figure 9: CAMEO speedup under different "
+                 "LLT designs (no location prediction)\n";
+    const auto rows = runComparison(base, points, workloads, &std::cout);
+    printSpeedupTable("Figure 9: Speedup of LLT designs", points, rows,
+                      std::cout);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 12: CAMEO (Co-Located LLT) with no prediction (SAM), the
+ * Line Location Predictor (LLP), and a perfect predictor.
+ *
+ * Paper: SAM +74% (printed as "no prediction 68%" in the figure
+ * caption for a different workload cut), LLP +78%, Perfect +80% —
+ * i.e. the LLP recovers most of the serialization loss and lands
+ * within ~2% of perfect.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    SystemConfig base = benchConfig();
+    base.lltKind = LltKind::CoLocated;
+
+    SystemConfig sam = base;
+    sam.predictorKind = PredictorKind::Sam;
+    SystemConfig llp = base;
+    llp.predictorKind = PredictorKind::Llp;
+    SystemConfig perfect = base;
+    perfect.predictorKind = PredictorKind::Perfect;
+
+    const std::vector<DesignPoint> points{
+        point("SAM(no-pred)", OrgKind::Cameo, sam),
+        point("LLP", OrgKind::Cameo, llp),
+        point("Perfect", OrgKind::Cameo, perfect),
+    };
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Reproducing Figure 12: CAMEO speedup with location "
+                 "prediction\n";
+    const auto rows = runComparison(base, points, workloads, &std::cout);
+    printSpeedupTable("Figure 12: Location prediction", points, rows,
+                      std::cout);
+    return 0;
+}

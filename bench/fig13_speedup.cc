@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 13 (the paper's headline result): speedup of Cache,
+ * TLM-Static, TLM-Dynamic, CAMEO (Co-Located LLT + LLP), and the
+ * idealistic DoubleUse over the no-stacked-DRAM baseline, for every
+ * Table II workload, with per-category and overall geometric means.
+ *
+ * Paper: Cache +50%, TLM-Static +33%, TLM-Dynamic +50%, CAMEO +78%,
+ * DoubleUse +82% (Gmean ALL). Expected shape: CAMEO outperforms both
+ * Cache and TLM and comes close to DoubleUse.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    const SystemConfig config = benchConfig();
+    const std::vector<DesignPoint> points{
+        point("Cache", OrgKind::AlloyCache, config),
+        point("TLM-Static", OrgKind::TlmStatic, config),
+        point("TLM-Dynamic", OrgKind::TlmDynamic, config),
+        point("CAMEO", OrgKind::Cameo, config),
+        point("DoubleUse", OrgKind::DoubleUse, config),
+    };
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Reproducing Figure 13: speedup with stacked memory "
+                 "(baseline = no stacked DRAM)\n";
+    const auto rows = runComparison(config, points, workloads, &std::cout);
+    printSpeedupTable("Figure 13: Speedup over baseline", points, rows,
+                      std::cout);
+
+    // Optional machine-readable output for plotting.
+    if (const char *csv = std::getenv("CAMEO_BENCH_CSV")) {
+        if (writeSpeedupCsv(points, rows, csv))
+            std::cout << "\nwrote " << csv << "\n";
+        else
+            std::cout << "\nfailed to write " << csv << "\n";
+    }
+    return 0;
+}

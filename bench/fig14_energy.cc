@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 14: normalized power and energy-delay product (EDP) for
+ * Cache, TLM-Static, TLM-Dynamic, and CAMEO, using the Section VI-C
+ * activity-based model.
+ *
+ * Paper: power — Cache +14%, CAMEO +37%, TLM-Dynamic +51%;
+ * EDP — Cache -4%, TLM-Static -21%, CAMEO -49% (lower is better).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "energy/power_model.hh"
+#include "stats/table.hh"
+#include "util/math.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    const SystemConfig config = benchConfig();
+    const std::vector<DesignPoint> points{
+        point("Cache", OrgKind::AlloyCache, config),
+        point("TLM-Static", OrgKind::TlmStatic, config),
+        point("TLM-Dynamic", OrgKind::TlmDynamic, config),
+        point("CAMEO", OrgKind::Cameo, config),
+    };
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Reproducing Figure 14: power and EDP normalized to "
+                 "baseline\n";
+    const auto rows = runComparison(config, points, workloads, &std::cout);
+
+    std::map<std::size_t, std::vector<double>> power_all, edp_all;
+    std::map<std::pair<std::size_t, WorkloadCategory>, std::vector<double>>
+        power_cat, edp_cat;
+
+    for (const auto &row : rows) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const RunResult &r = row.runs[i];
+            EnergyInputs in;
+            in.category = row.workload.category;
+            in.timeRatio = static_cast<double>(r.execTime) /
+                           static_cast<double>(row.baseline.execTime);
+            in.offchipByteRatio =
+                static_cast<double>(r.offchipBytes) /
+                static_cast<double>(row.baseline.offchipBytes);
+            in.stackedByteRatio =
+                static_cast<double>(r.stackedBytes) /
+                static_cast<double>(row.baseline.offchipBytes);
+            in.storageByteRatio =
+                row.baseline.storageBytes
+                    ? static_cast<double>(r.storageBytes) /
+                          static_cast<double>(row.baseline.storageBytes)
+                    : 1.0;
+            in.hasStacked = true;
+            const double p = normalizedPower(in).total();
+            const double e = normalizedEdp(in);
+            power_all[i].push_back(p);
+            edp_all[i].push_back(e);
+            power_cat[{i, in.category}].push_back(p);
+            edp_cat[{i, in.category}].push_back(e);
+        }
+    }
+
+    TextTable table("Figure 14: Normalized power and EDP "
+                    "(baseline = 1.00; EDP lower is better)");
+    table.setHeader({"Design", "Power-Cap", "Power-Lat", "Power-All",
+                     "EDP-Cap", "EDP-Lat", "EDP-All"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        using WC = WorkloadCategory;
+        table.addRow(
+            {points[i].label,
+             TextTable::cell(
+                 arithmeticMean(power_cat[{i, WC::CapacityLimited}])),
+             TextTable::cell(
+                 arithmeticMean(power_cat[{i, WC::LatencyLimited}])),
+             TextTable::cell(arithmeticMean(power_all[i])),
+             TextTable::cell(
+                 arithmeticMean(edp_cat[{i, WC::CapacityLimited}])),
+             TextTable::cell(
+                 arithmeticMean(edp_cat[{i, WC::LatencyLimited}])),
+             TextTable::cell(arithmeticMean(edp_all[i]))});
+    }
+    table.print(std::cout);
+    return 0;
+}

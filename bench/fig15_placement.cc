@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 15: optimized page placement for TLM — frequency-based
+ * (TLM-Freq) and oracular (TLM-Oracle) — against TLM-Dynamic and
+ * CAMEO.
+ *
+ * Paper: CAMEO +78% vs TLM-Freq +61%; page-granularity migration still
+ * hurts Capacity-Limited workloads, while for small-footprint
+ * latency workloads frequency placement can beat CAMEO (conflict
+ * misses in CAMEO's direct-mapped congruence groups).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    const SystemConfig config = benchConfig();
+    const std::vector<DesignPoint> points{
+        point("TLM-Dynamic", OrgKind::TlmDynamic, config),
+        point("TLM-Freq", OrgKind::TlmFreq, config),
+        point("TLM-Oracle", OrgKind::TlmOracle, config),
+        point("CAMEO", OrgKind::Cameo, config),
+    };
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Reproducing Figure 15: optimized TLM page placement "
+                 "vs CAMEO\n";
+    const auto rows = runComparison(config, points, workloads, &std::cout);
+    printSpeedupTable("Figure 15: Optimized placement", points, rows,
+                      std::cout);
+    return 0;
+}

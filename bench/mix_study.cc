@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension study: multi-programmed mixes. The paper evaluates
+ * homogeneous rate mode; real consolidated systems co-schedule
+ * capacity hogs with latency-sensitive neighbours, which is where a
+ * design must balance OS-visible capacity against line locality for
+ * *different* tenants simultaneously. Each mix interleaves its members
+ * round-robin across the cores.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+#include "util/math.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    const SystemConfig config = benchConfig();
+
+    const std::vector<std::vector<const char *>> mixes{
+        {"mcf", "libquantum"},          // capacity hog + stream
+        {"GemsFDTD", "omnetpp"},        // capacity + pointer chaser
+        {"milc", "gcc"},                // two latency-bound
+        {"zeusmp", "sphinx3", "milc", "xalancbmk"}, // 4-way consolidation
+    };
+
+    const std::vector<std::pair<const char *, OrgKind>> designs{
+        {"Cache", OrgKind::AlloyCache},
+        {"TLM-Static", OrgKind::TlmStatic},
+        {"CAMEO", OrgKind::Cameo},
+        {"DoubleUse", OrgKind::DoubleUse},
+    };
+
+    std::cout << "Extension: multi-programmed mixes (round-robin over "
+              << config.numCores << " cores)\n";
+
+    TextTable table("Mixed-workload speedups over baseline");
+    std::vector<std::string> header{"Mix"};
+    for (const auto &[label, kind] : designs)
+        header.push_back(label);
+    table.setHeader(std::move(header));
+
+    for (const auto &mix : mixes) {
+        std::vector<WorkloadProfile> profiles;
+        std::string label;
+        for (const char *name : mix) {
+            profiles.push_back(*findWorkload(name));
+            label += (label.empty() ? "" : "+") + std::string(name);
+        }
+        std::cout << "  [" << label << "] baseline..." << std::flush;
+        const RunResult base =
+            runMix(config, OrgKind::Baseline, profiles);
+        std::vector<std::string> row{label};
+        for (const auto &[dlabel, kind] : designs) {
+            std::cout << " " << dlabel << "..." << std::flush;
+            const RunResult r = runMix(config, kind, profiles);
+            row.push_back(TextTable::cell(
+                speedup(static_cast<double>(base.execTime),
+                        static_cast<double>(r.execTime))));
+        }
+        std::cout << "\n";
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table II: workload characteristics — the calibration check. For each
+ * benchmark profile we run the baseline system and report the measured
+ * L3 MPKI and the scaled footprint against the paper's Table II
+ * targets, plus the behaviour knobs the generator uses.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    const SystemConfig config = benchConfig();
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Reproducing Table II: workload characteristics "
+                 "(measured on the baseline system)\n";
+
+    TextTable table("Table II: Workload characteristics (scaled x1/" +
+                    std::to_string(static_cast<int>(config.scaleFactor)) +
+                    ")");
+    table.setHeader({"Workload", "Category", "Paper MPKI", "Meas MPKI",
+                     "Paper footprint", "Scaled footprint",
+                     "Lines/page", "Faults"});
+    for (const auto &wl : workloads) {
+        std::cout << "  [" << wl.name << "]..." << std::flush;
+        const RunResult r = runWorkload(config, OrgKind::Baseline, wl);
+        const GeneratorParams gp = config.generatorParamsFor(wl);
+        table.addRow(
+            {wl.name, categoryName(wl.category),
+             TextTable::cell(wl.paperMpki, 1), TextTable::cell(r.mpki(), 1),
+             TextTable::cell(wl.paperFootprintGb, 1) + " GB",
+             TextTable::cell(static_cast<double>(gp.footprintBytes) *
+                                 config.numCores / (1 << 20),
+                             1) +
+                 " MB",
+             TextTable::cell(std::uint64_t{wl.linesPerPage}),
+             TextTable::cell(r.majorFaults)});
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    return 0;
+}

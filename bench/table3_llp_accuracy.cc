@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table III: accuracy of the Line Location Predictor, broken into the
+ * paper's five cases, for SAM / LLP / Perfect, aggregated over all
+ * workloads (percent of predictions).
+ *
+ * Paper: SAM 70.3% (the stacked-service fraction), LLP 91.7%,
+ * Perfect 100%.
+ */
+
+#include <array>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    SystemConfig base = benchConfig();
+    base.lltKind = LltKind::CoLocated;
+
+    const std::array<PredictorKind, 3> kinds{
+        PredictorKind::Sam, PredictorKind::Llp, PredictorKind::Perfect};
+
+    // Aggregate the five Table III cases over every workload.
+    std::array<std::array<double, 5>, 3> percent{};
+    std::array<double, 3> accuracy{};
+
+    const auto workloads = benchWorkloads();
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        SystemConfig config = base;
+        config.predictorKind = kinds[k];
+        std::uint64_t cases[5] = {0, 0, 0, 0, 0};
+        std::uint64_t total = 0;
+        for (const auto &wl : workloads) {
+            std::cout << "  [" << predictorKindName(kinds[k]) << "/"
+                      << wl.name << "]..." << std::flush;
+            const RunResult r = runWorkload(config, OrgKind::Cameo, wl);
+            for (int c = 0; c < 5; ++c) {
+                cases[c] += r.llpCases[c];
+                total += r.llpCases[c];
+            }
+        }
+        std::cout << "\n";
+        for (int c = 0; c < 5; ++c)
+            percent[k][c] = total ? 100.0 * cases[c] / total : 0.0;
+        accuracy[k] = percent[k][0] + percent[k][3];
+    }
+
+    TextTable table("Table III: Accuracy of Line Location Predictor "
+                    "(percent of L3-miss reads)");
+    table.setHeader({"Serviced by", "Prediction", "SAM", "LLP", "Perfect"});
+    const char *rows[5][2] = {
+        {"Stacked", "Stacked"},        {"Stacked", "Off-chip"},
+        {"Off-chip", "Stacked"},       {"Off-chip", "Off-chip (OK)"},
+        {"Off-chip", "Off-chip (Wrong)"},
+    };
+    // Print in the paper's row order: case 1, 2, 3, 4, 5.
+    const int order[5] = {0, 1, 2, 3, 4};
+    for (int i = 0; i < 5; ++i) {
+        const int c = order[i];
+        table.addRow({rows[c][0], rows[c][1],
+                      TextTable::cell(percent[0][c], 1),
+                      TextTable::cell(percent[1][c], 1),
+                      TextTable::cell(percent[2][c], 1)});
+    }
+    table.addRow({"Overall Accuracy", "", TextTable::cell(accuracy[0], 1),
+                  TextTable::cell(accuracy[1], 1),
+                  TextTable::cell(accuracy[2], 1)});
+    table.print(std::cout);
+    return 0;
+}

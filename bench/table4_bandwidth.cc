@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table IV: bandwidth usage (bytes transferred) in stacked DRAM,
+ * off-chip DRAM, and storage, normalized to the baseline, averaged per
+ * workload category.
+ *
+ * Paper (Capacity-Limited / Latency-Limited):
+ *   Cache   stacked 1.93/1.76, off-chip 0.55/0.29, storage 1.00
+ *   TLM-S   stacked 0.26/0.25, off-chip 0.74/0.75, storage 0.78
+ *   TLM-D   stacked 2.54/1.95, off-chip 2.19/1.10, storage 0.78
+ *   CAMEO   stacked 1.89/1.51, off-chip 1.07/0.47, storage 0.79
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "stats/table.hh"
+#include "util/math.hh"
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    const SystemConfig config = benchConfig();
+    const std::vector<DesignPoint> points{
+        point("Cache", OrgKind::AlloyCache, config),
+        point("TLM-Static", OrgKind::TlmStatic, config),
+        point("TLM-Dynamic", OrgKind::TlmDynamic, config),
+        point("CAMEO", OrgKind::Cameo, config),
+    };
+    const auto workloads = benchWorkloads();
+
+    std::cout << "Reproducing Table IV: bandwidth usage normalized to "
+                 "baseline\n";
+    const auto rows = runComparison(config, points, workloads, &std::cout);
+
+    // Average ratios per category (arithmetic mean of per-workload
+    // ratios, as the paper tabulates).
+    struct Acc
+    {
+        std::vector<double> stacked, offchip, storage;
+    };
+    std::map<std::pair<std::size_t, WorkloadCategory>, Acc> acc;
+    for (const auto &row : rows) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const RunResult &r = row.runs[i];
+            Acc &a = acc[{i, row.workload.category}];
+            const double base_off =
+                static_cast<double>(row.baseline.offchipBytes);
+            a.stacked.push_back(static_cast<double>(r.stackedBytes) /
+                                base_off);
+            a.offchip.push_back(static_cast<double>(r.offchipBytes) /
+                                base_off);
+            if (row.baseline.storageBytes > 0) {
+                a.storage.push_back(
+                    static_cast<double>(r.storageBytes) /
+                    static_cast<double>(row.baseline.storageBytes));
+            }
+        }
+    }
+
+    TextTable table("Table IV: Bandwidth usage (normalized to baseline "
+                    "off-chip / storage bytes)");
+    table.setHeader({"Design", "Cap-Stacked", "Cap-Offchip", "Cap-Storage",
+                     "Lat-Stacked", "Lat-Offchip"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Acc &cap =
+            acc[{i, WorkloadCategory::CapacityLimited}];
+        const Acc &lat =
+            acc[{i, WorkloadCategory::LatencyLimited}];
+        const auto mean_or = [](const std::vector<double> &v) {
+            return v.empty() ? 0.0 : arithmeticMean(v);
+        };
+        table.addRow({points[i].label,
+                      TextTable::cell(mean_or(cap.stacked)) + "x",
+                      TextTable::cell(mean_or(cap.offchip)) + "x",
+                      TextTable::cell(mean_or(cap.storage)) + "x",
+                      TextTable::cell(mean_or(lat.stacked)) + "x",
+                      TextTable::cell(mean_or(lat.offchip)) + "x"});
+    }
+    table.print(std::cout);
+    return 0;
+}

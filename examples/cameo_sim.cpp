@@ -1,0 +1,177 @@
+/**
+ * @file
+ * cameo_sim: the command-line entry point for one-off simulations —
+ * the tool a downstream user reaches for first.
+ *
+ *   cameo_sim --org=cameo --workload=milc
+ *   cameo_sim --org=cache --workload=mcf --accesses=100000 --json
+ *   cameo_sim --org=cameo --llt=embedded --predictor=sam --dump-stats
+ *   cameo_sim --list
+ *
+ * Flags:
+ *   --org         baseline|cache|tlm-static|tlm-dynamic|tlm-freq|
+ *                 tlm-oracle|doubleuse|cameo|cameo-freq   (default cameo)
+ *   --workload    Table II benchmark name                  (default milc)
+ *   --accesses    L3-level accesses per core               (default 200000)
+ *   --cores       number of cores                          (default 8)
+ *   --stacked-mb  stacked DRAM capacity in MB              (default 8)
+ *   --offchip-mb  off-chip DRAM capacity in MB             (default 24)
+ *   --seed        RNG seed                                 (default 42)
+ *   --llt         ideal|embedded|colocated                 (default colocated)
+ *   --predictor   sam|llp|perfect                          (default llp)
+ *   --llp-entries LLR entries per core                     (default 256)
+ *   --refresh     model DRAM refresh (tREFI 7.8us, tRFC 350ns)
+ *   --baseline    also run the baseline and report speedup
+ *   --dump-stats  print the full statistics registry
+ *   --json        machine-readable stats (implies --dump-stats)
+ *   --list        list workloads and exit
+ */
+
+#include <iostream>
+
+#include "system/system.hh"
+#include "trace/workloads.hh"
+#include "util/cli.hh"
+
+namespace
+{
+
+using namespace cameo;
+
+bool
+parseOrg(const std::string &s, OrgKind &out)
+{
+    if (s == "baseline")
+        out = OrgKind::Baseline;
+    else if (s == "cache")
+        out = OrgKind::AlloyCache;
+    else if (s == "tlm-static")
+        out = OrgKind::TlmStatic;
+    else if (s == "tlm-dynamic")
+        out = OrgKind::TlmDynamic;
+    else if (s == "tlm-freq")
+        out = OrgKind::TlmFreq;
+    else if (s == "tlm-oracle")
+        out = OrgKind::TlmOracle;
+    else if (s == "doubleuse")
+        out = OrgKind::DoubleUse;
+    else if (s == "cameo")
+        out = OrgKind::Cameo;
+    else if (s == "cameo-freq")
+        out = OrgKind::CameoFreq;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliParser cli(argc, argv);
+
+    if (cli.getBool("list")) {
+        for (const auto &wl : allWorkloads()) {
+            std::cout << wl.name << " (" << categoryName(wl.category)
+                      << ", " << wl.paperFootprintGb << " GB, MPKI "
+                      << wl.paperMpki << ")\n";
+        }
+        return EXIT_SUCCESS;
+    }
+
+    OrgKind kind = OrgKind::Cameo;
+    if (!parseOrg(cli.getString("org", "cameo"), kind)) {
+        std::cerr << "unknown --org\n";
+        return EXIT_FAILURE;
+    }
+    const WorkloadProfile *profile =
+        findWorkload(cli.getString("workload", "milc"));
+    if (profile == nullptr) {
+        std::cerr << "unknown --workload (try --list)\n";
+        return EXIT_FAILURE;
+    }
+
+    SystemConfig config = defaultConfig();
+    config.accessesPerCore = cli.getUint("accesses", 200'000);
+    config.numCores =
+        static_cast<std::uint32_t>(cli.getUint("cores", config.numCores));
+    config.stackedBytes = cli.getUint("stacked-mb", 8) << 20;
+    config.offchipBytes = cli.getUint("offchip-mb", 24) << 20;
+    config.seed = cli.getUint("seed", config.seed);
+    config.llpTableEntries = static_cast<std::uint32_t>(
+        cli.getUint("llp-entries", config.llpTableEntries));
+
+    const std::string llt = cli.getString("llt", "colocated");
+    if (llt == "ideal")
+        config.lltKind = LltKind::Ideal;
+    else if (llt == "embedded")
+        config.lltKind = LltKind::Embedded;
+    else if (llt == "colocated")
+        config.lltKind = LltKind::CoLocated;
+    else {
+        std::cerr << "unknown --llt\n";
+        return EXIT_FAILURE;
+    }
+
+    const std::string pred = cli.getString("predictor", "llp");
+    if (pred == "sam")
+        config.predictorKind = PredictorKind::Sam;
+    else if (pred == "llp")
+        config.predictorKind = PredictorKind::Llp;
+    else if (pred == "perfect")
+        config.predictorKind = PredictorKind::Perfect;
+    else {
+        std::cerr << "unknown --predictor\n";
+        return EXIT_FAILURE;
+    }
+
+    if (cli.getBool("refresh")) {
+        // DDR3-class refresh: tREFI 7.8us, tRFC ~350ns in bus cycles.
+        config.offchip.tRefi = 6240; // 7.8us @ 800MHz
+        config.offchip.tRfc = 280;   // 350ns @ 800MHz
+        config.stacked.tRefi = 12480; // 7.8us @ 1.6GHz
+        config.stacked.tRfc = 560;
+    }
+
+    const bool want_baseline = cli.getBool("baseline");
+    const bool json = cli.getBool("json");
+    const bool dump = cli.getBool("dump-stats") || json;
+
+    for (const std::string &flag : cli.unknownFlags())
+        std::cerr << "warning: unknown flag --" << flag << "\n";
+    for (const std::string &err : cli.errors())
+        std::cerr << "error: " << err << "\n";
+    if (!cli.errors().empty())
+        return EXIT_FAILURE;
+
+    RunResult base;
+    if (want_baseline)
+        base = runWorkload(config, OrgKind::Baseline, *profile);
+
+    System system(config, kind, *profile);
+    const RunResult r = system.run();
+
+    if (json) {
+        system.stats().dumpJson(std::cout);
+    } else {
+        std::cout << r.orgName << " / " << r.workload << ": execTime="
+                  << r.execTime << " cycles, MPKI=" << r.mpki()
+                  << ", majorFaults=" << r.majorFaults;
+        if (r.servicedStacked + r.servicedOffchip > 0) {
+            std::cout << ", stackedService="
+                      << 100.0 * r.stackedServiceFraction()
+                      << "%, llpAccuracy=" << 100.0 * r.llpAccuracy
+                      << "%";
+        }
+        if (want_baseline) {
+            std::cout << ", speedup="
+                      << static_cast<double>(base.execTime) /
+                             static_cast<double>(r.execTime);
+        }
+        std::cout << "\n";
+        if (dump)
+            system.stats().dump(std::cout);
+    }
+    return EXIT_SUCCESS;
+}

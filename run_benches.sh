@@ -1,0 +1,29 @@
+#!/bin/sh
+# Regenerates bench_output.txt: every paper figure/table at full
+# settings, extension/ablation benches on a representative subset.
+set -u
+cd "$(dirname "$0")"
+{
+for b in fig02_motivation fig03_dram_trends table1_config table2_workloads \
+         fig08_llt_latency fig09_llt_designs fig12_llp table3_llp_accuracy \
+         fig13_speedup table4_bandwidth fig14_energy fig15_placement; do
+    echo "===================================================================="
+    echo "===== bench/$b"
+    echo "===================================================================="
+    ./build/bench/$b
+    echo
+done
+export CAMEO_BENCH_WORKLOADS=mcf,GemsFDTD,zeusmp,milc,soplex,libquantum,omnetpp,leslie3d
+for b in ablation_llp_table ablation_capacity_ratio ablation_cameo_freq \
+         ablation_refresh mix_study; do
+    echo "===================================================================="
+    echo "===== bench/$b (workload subset: $CAMEO_BENCH_WORKLOADS)"
+    echo "===================================================================="
+    ./build/bench/$b
+    echo
+done
+echo "===================================================================="
+echo "===== bench/micro_components"
+echo "===================================================================="
+./build/bench/micro_components --benchmark_min_time=0.2
+} 

@@ -1,0 +1,31 @@
+#include "cache/replacement.hh"
+
+#include <cassert>
+
+namespace cameo
+{
+
+std::uint32_t
+chooseVictim(std::span<const WayMeta> ways, ReplPolicy policy, Rng &rng)
+{
+    assert(!ways.empty());
+    for (std::uint32_t w = 0; w < ways.size(); ++w) {
+        if (!ways[w].valid)
+            return w;
+    }
+    switch (policy) {
+      case ReplPolicy::Random:
+        return static_cast<std::uint32_t>(rng.next(ways.size()));
+      case ReplPolicy::Lru:
+      default: {
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 1; w < ways.size(); ++w) {
+            if (ways[w].lastUse < ways[victim].lastUse)
+                victim = w;
+        }
+        return victim;
+      }
+    }
+}
+
+} // namespace cameo

@@ -1,0 +1,110 @@
+#include "cache/set_assoc_cache.hh"
+
+#include <array>
+#include <cassert>
+
+#include "util/bitops.hh"
+
+namespace cameo
+{
+
+SetAssocCache::SetAssocCache(std::string name, std::uint64_t capacity_bytes,
+                             std::uint32_t ways, Tick hit_latency,
+                             ReplPolicy policy, std::uint64_t seed)
+    : name_(std::move(name)),
+      numSets_(capacity_bytes / kLineBytes / ways),
+      ways_(ways), hitLatency_(hit_latency), policy_(policy), rng_(seed),
+      hits_(name_ + ".hits", "cache hits"),
+      misses_(name_ + ".misses", "cache misses"),
+      writebacks_(name_ + ".writebacks", "dirty evictions")
+{
+    assert(ways != 0);
+    assert(numSets_ != 0 && isPowerOfTwo(numSets_) &&
+           "cache capacity must give a power-of-two set count");
+    setMask_ = numSets_ - 1;
+    setShift_ = exactLog2(numSets_);
+    store_.resize(numSets_ * ways_);
+}
+
+CacheAccessResult
+SetAssocCache::access(LineAddr line, bool is_write)
+{
+    const std::uint64_t set = setOf(line);
+    const LineAddr tag = tagOf(line);
+    Way *base = &store_[set * ways_];
+    ++useClock_;
+
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Way &way = base[w];
+        if (way.meta.valid && way.tag == tag) {
+            way.meta.lastUse = useClock_;
+            way.dirty |= is_write;
+            hits_.inc();
+            return CacheAccessResult{true, std::nullopt};
+        }
+    }
+
+    misses_.inc();
+
+    // Victim selection over this set's metadata (stack buffer: the
+    // miss path is hot and must not allocate).
+    std::array<WayMeta, kMaxWays> metas;
+    assert(ways_ <= kMaxWays);
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        metas[w] = base[w].meta;
+    const std::uint32_t victim = chooseVictim(
+        std::span<const WayMeta>(metas.data(), ways_), policy_, rng_);
+
+    CacheAccessResult result{false, std::nullopt};
+    Way &way = base[victim];
+    if (way.meta.valid && way.dirty) {
+        result.writeback = (way.tag << setShift_) | set;
+        writebacks_.inc();
+    }
+    way.tag = tag;
+    way.dirty = is_write;
+    way.meta.valid = true;
+    way.meta.lastUse = useClock_;
+    return result;
+}
+
+bool
+SetAssocCache::probe(LineAddr line) const
+{
+    const std::uint64_t set = setOf(line);
+    const LineAddr tag = tagOf(line);
+    const Way *base = &store_[set * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].meta.valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(LineAddr line)
+{
+    const std::uint64_t set = setOf(line);
+    const LineAddr tag = tagOf(line);
+    Way *base = &store_[set * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Way &way = base[w];
+        if (way.meta.valid && way.tag == tag) {
+            const bool was_dirty = way.dirty;
+            way.meta.valid = false;
+            way.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::registerStats(StatRegistry &registry)
+{
+    registry.add(hits_);
+    registry.add(misses_);
+    registry.add(writebacks_);
+}
+
+} // namespace cameo

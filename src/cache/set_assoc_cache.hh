@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Functional + latency model of a set-associative writeback cache.
+ *
+ * Used for the shared L3 (32MB, 16-way, 24 cycles in Table I; scaled
+ * proportionally in the default configuration). The model is
+ * trace-driven: an access returns hit/miss plus any victim that must be
+ * written back; the caller (CpuCore/System) is responsible for timing
+ * the resulting memory traffic.
+ */
+
+#ifndef CAMEO_CACHE_SET_ASSOC_CACHE_HH
+#define CAMEO_CACHE_SET_ASSOC_CACHE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "stats/counter.hh"
+#include "stats/registry.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    /** True if the line was present. */
+    bool hit = false;
+
+    /** Dirty victim line that must be written back (miss path only). */
+    std::optional<LineAddr> writeback;
+};
+
+/** A set-associative, write-allocate, writeback cache. */
+class SetAssocCache
+{
+  public:
+    /** Maximum supported associativity. */
+    static constexpr std::uint32_t kMaxWays = 32;
+
+    /**
+     * @param name           Stat prefix, e.g. "l3".
+     * @param capacity_bytes Total data capacity (power-of-two sets).
+     * @param ways           Associativity.
+     * @param hit_latency    Load-to-use latency in CPU cycles.
+     * @param policy         Replacement policy (default LRU).
+     * @param seed           RNG seed for the Random policy.
+     */
+    SetAssocCache(std::string name, std::uint64_t capacity_bytes,
+                  std::uint32_t ways, Tick hit_latency,
+                  ReplPolicy policy = ReplPolicy::Lru,
+                  std::uint64_t seed = 1);
+
+    SetAssocCache(const SetAssocCache &) = delete;
+    SetAssocCache &operator=(const SetAssocCache &) = delete;
+
+    /**
+     * Access @p line; allocates on miss (write-allocate).
+     *
+     * @param line     Line address (OS-physical).
+     * @param is_write Marks the line dirty on hit or after allocation.
+     * @return Hit/miss and any dirty victim to write back.
+     */
+    CacheAccessResult access(LineAddr line, bool is_write);
+
+    /** Non-allocating presence check (no LRU update). */
+    bool probe(LineAddr line) const;
+
+    /** Drop @p line if present; returns true if it was dirty. */
+    bool invalidate(LineAddr line);
+
+    Tick hitLatency() const { return hitLatency_; }
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint32_t numWays() const { return ways_; }
+    std::uint64_t capacityBytes() const
+    {
+        return numSets_ * ways_ * kLineBytes;
+    }
+
+    void registerStats(StatRegistry &registry);
+
+    const Counter &hits() const { return hits_; }
+    const Counter &misses() const { return misses_; }
+    const Counter &writebacks() const { return writebacks_; }
+
+  private:
+    struct Way
+    {
+        LineAddr tag = 0;
+        bool dirty = false;
+        WayMeta meta;
+    };
+
+    std::uint64_t setOf(LineAddr line) const { return line & setMask_; }
+    LineAddr tagOf(LineAddr line) const { return line >> setShift_; }
+
+    std::string name_;
+    std::uint64_t numSets_;
+    std::uint64_t setMask_;
+    unsigned setShift_;
+    std::uint32_t ways_;
+    Tick hitLatency_;
+    ReplPolicy policy_;
+    Rng rng_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Way> store_; ///< numSets_ * ways_, set-major.
+
+    Counter hits_;
+    Counter misses_;
+    Counter writebacks_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_CACHE_SET_ASSOC_CACHE_HH

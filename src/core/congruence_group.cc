@@ -1,0 +1,23 @@
+#include "core/congruence_group.hh"
+
+#include <cassert>
+
+namespace cameo
+{
+
+CongruenceGroups::CongruenceGroups(std::uint64_t stacked_lines,
+                                   std::uint64_t total_lines)
+    : numGroups_(stacked_lines)
+{
+    assert(isPowerOfTwo(stacked_lines) &&
+           "stacked capacity must be a power of two lines");
+    assert(total_lines % stacked_lines == 0 &&
+           "total capacity must be a multiple of stacked capacity");
+    groupMask_ = stacked_lines - 1;
+    groupShift_ = exactLog2(stacked_lines);
+    groupSize_ = static_cast<std::uint32_t>(total_lines / stacked_lines);
+    assert(groupSize_ >= 2 && groupSize_ <= 16 &&
+           "group size out of supported range");
+}
+
+} // namespace cameo

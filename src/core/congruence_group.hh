@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Congruence-group address arithmetic (Section IV-A of the paper).
+ *
+ * With N lines of stacked memory and K*N lines of total OS-visible
+ * memory, the lines {g, g+N, g+2N, ...} form congruence group g: they
+ * contend for the single stacked slot of that group, exactly like lines
+ * contending for a set in a direct-mapped cache. CAMEO only ever swaps
+ * lines within a group, so the group index of a line never changes; the
+ * *slot* (which member of the group the OS thinks the line is) is the
+ * thing the Line Location Table permutes.
+ *
+ * Nomenclature used throughout the core library:
+ *  - group:   line & (N-1)                — the paper's "bottom log2(N)
+ *             bits identify the Congruence Group";
+ *  - slot:    line >> log2(N)             — which member of the group
+ *             (0 = the member whose home is stacked memory);
+ *  - location: where a member currently lives: 0 = stacked, p >= 1 =
+ *             off-chip device line (p-1)*N + group.
+ */
+
+#ifndef CAMEO_CORE_CONGRUENCE_GROUP_HH
+#define CAMEO_CORE_CONGRUENCE_GROUP_HH
+
+#include <cstdint>
+
+#include "util/bitops.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Address arithmetic for congruence groups. */
+class CongruenceGroups
+{
+  public:
+    /**
+     * @param stacked_lines Stacked-memory capacity in lines (power of
+     *                      two; this is the number of groups).
+     * @param total_lines   OS-visible capacity in lines; must be a
+     *                      multiple of stacked_lines.
+     */
+    CongruenceGroups(std::uint64_t stacked_lines, std::uint64_t total_lines);
+
+    /** Group of an OS-physical line. */
+    std::uint64_t groupOf(LineAddr line) const { return line & groupMask_; }
+
+    /** Slot (group member index) of an OS-physical line. */
+    std::uint32_t slotOf(LineAddr line) const
+    {
+        return static_cast<std::uint32_t>(line >> groupShift_);
+    }
+
+    /** Reassemble the OS-physical line from (group, slot). */
+    LineAddr lineOf(std::uint64_t group, std::uint32_t slot) const
+    {
+        return (std::uint64_t{slot} << groupShift_) | group;
+    }
+
+    /**
+     * Off-chip device line of location @p loc (>= 1) in @p group.
+     * Location 0 is stacked and has no off-chip device line.
+     */
+    std::uint64_t offchipLineOf(std::uint64_t group,
+                                std::uint32_t loc) const
+    {
+        return std::uint64_t{loc - 1} * numGroups_ + group;
+    }
+
+    /** Number of congruence groups (= stacked lines). */
+    std::uint64_t numGroups() const { return numGroups_; }
+
+    /** Members per group (4 in the paper's 4GB+12GB configuration). */
+    std::uint32_t groupSize() const { return groupSize_; }
+
+    /** Total OS-visible lines covered. */
+    std::uint64_t totalLines() const
+    {
+        return numGroups_ * std::uint64_t{groupSize_};
+    }
+
+  private:
+    std::uint64_t numGroups_;
+    std::uint64_t groupMask_;
+    unsigned groupShift_;
+    std::uint32_t groupSize_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_CORE_CONGRUENCE_GROUP_HH

@@ -1,0 +1,75 @@
+#include "core/lead_layout.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cameo
+{
+
+namespace
+{
+
+/**
+ * Divide by 31 with shifts and adds only, exploiting 31 = 32 - 1:
+ * repeatedly fold x = 32*(x>>5) + (x&31) = 31*(x>>5) + ((x>>5)+(x&31)),
+ * accumulating (x>>5) into the quotient. This is the "few adders using
+ * residue arithmetic" the paper describes for the LEAD remap.
+ */
+struct DivMod31
+{
+    std::uint64_t quot;
+    std::uint32_t rem;
+};
+
+DivMod31
+divMod31(std::uint64_t x)
+{
+    std::uint64_t q = 0;
+    while (x > 31) {
+        q += x >> 5;
+        x = (x >> 5) + (x & 31);
+    }
+    if (x == 31) {
+        ++q;
+        x = 0;
+    }
+    return DivMod31{q, static_cast<std::uint32_t>(x)};
+}
+
+} // namespace
+
+LeadLayout::LeadLayout(std::uint64_t stacked_lines)
+    : stackedLines_(stacked_lines),
+      usableLines_(stacked_lines / kLinesPerRow * kLeadsPerRow +
+                   // Partial trailing row (if capacity is not a
+                   // multiple of 32 lines) still holds LEADs.
+                   std::min<std::uint64_t>(stacked_lines % kLinesPerRow,
+                                           kLeadsPerRow))
+{
+    assert(stacked_lines >= kLinesPerRow);
+}
+
+std::uint64_t
+LeadLayout::physicalLineOf(std::uint64_t x) const
+{
+    assert(x < usableLines_);
+    // Slot x lives in row x/31 at position x%31; each row occupies 32
+    // physical lines. Equivalent to the paper's X + X/31 remap.
+    const std::uint64_t result = x + x / kLeadsPerRow;
+    assert(result == (x / kLeadsPerRow) * kLinesPerRow + x % kLeadsPerRow);
+    return result;
+}
+
+std::uint32_t
+LeadLayout::adderOnlyMod31(std::uint64_t x)
+{
+    return divMod31(x).rem;
+}
+
+std::uint64_t
+LeadLayout::adderOnlyDivideBy31(std::uint64_t x)
+{
+    return divMod31(x).quot;
+}
+
+} // namespace cameo

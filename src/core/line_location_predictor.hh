@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Line Location Predictor (Section V).
+ *
+ * The LLP guesses a line's current location (one of the K positions of
+ * its congruence group) before the Line Location Table is consulted, so
+ * that a predicted-off-chip access can start in parallel with the
+ * stacked-DRAM LEAD read. Unlike DRAM-cache hit predictors, the choice
+ * is K-ary, not binary.
+ *
+ * Three variants cover the paper's Figure 12 and Table III:
+ *  - SAM      ("Serial Access Memory"): no prediction — always assume
+ *             stacked, i.e. always serialize off-chip accesses;
+ *  - LLP      : per-core 256-entry table of 2-bit Line Location
+ *             Registers, indexed by (hashed) instruction address, each
+ *             recording the location the LLT reported last time
+ *             (last-time prediction); 64 bytes per core of state;
+ *  - Perfect  : oracle, always correct.
+ *
+ * Table III's five outcome cases are counted here so the accuracy bench
+ * can print the same breakdown.
+ */
+
+#ifndef CAMEO_CORE_LINE_LOCATION_PREDICTOR_HH
+#define CAMEO_CORE_LINE_LOCATION_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/counter.hh"
+#include "stats/registry.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Predictor flavour (Figure 12's three curves). */
+enum class PredictorKind
+{
+    Sam,     ///< No prediction: always access serially.
+    Llp,     ///< PC-indexed last-time location predictor.
+    Perfect, ///< Oracle.
+};
+
+/** Printable name of a predictor kind. */
+const char *predictorKindName(PredictorKind kind);
+
+/** Table III outcome classification of one prediction. */
+enum class PredictionCase : std::uint8_t
+{
+    StackedPredStacked = 0,  ///< Case 1: correct, in stacked.
+    StackedPredOffchip = 1,  ///< Case 2: wasted off-chip fetch.
+    OffchipPredStacked = 2,  ///< Case 3: serialized (latency).
+    OffchipPredCorrect = 3,  ///< Case 4: correct, parallel fetch.
+    OffchipPredWrong = 4,    ///< Case 5: wasted fetch + serialization.
+};
+
+/** The K-ary line location predictor with per-core LLR tables. */
+class LineLocationPredictor
+{
+  public:
+    /** Entries per core's LLR table (256 in the paper: 8-bit index). */
+    static constexpr std::uint32_t kTableEntries = 256;
+
+    /**
+     * @param kind          Variant (SAM / LLP / Perfect).
+     * @param num_cores     One LLR table per core.
+     * @param group_size    K (locations per congruence group).
+     * @param table_entries LLR entries per core (power of two; the
+     *                      paper uses 256 — exposed for ablations).
+     */
+    LineLocationPredictor(PredictorKind kind, std::uint32_t num_cores,
+                          std::uint32_t group_size,
+                          std::uint32_t table_entries = kTableEntries);
+
+    std::uint32_t tableEntries() const { return tableEntries_; }
+
+    LineLocationPredictor(const LineLocationPredictor &) = delete;
+    LineLocationPredictor &operator=(const LineLocationPredictor &) = delete;
+
+    /**
+     * Predict the location of the line @p pc is about to access.
+     * For the Perfect variant, @p actual_loc is returned; SAM always
+     * returns 0 (stacked).
+     */
+    std::uint32_t predict(std::uint32_t core, InstAddr pc,
+                          std::uint32_t actual_loc) const;
+
+    /**
+     * Train with the LLT-verified location and record the Table III
+     * outcome for the (prediction, actual) pair.
+     */
+    void update(std::uint32_t core, InstAddr pc, std::uint32_t predicted,
+                std::uint32_t actual_loc);
+
+    /** Classify a (predicted, actual) pair per Table III. */
+    static PredictionCase classify(std::uint32_t predicted,
+                                   std::uint32_t actual);
+
+    PredictorKind kind() const { return kind_; }
+
+    /** Count of outcomes in @p c so far. */
+    std::uint64_t caseCount(PredictionCase c) const
+    {
+        return cases_[static_cast<std::size_t>(c)].value();
+    }
+
+    /** Total predictions made. */
+    std::uint64_t totalPredictions() const;
+
+    /** Fraction of predictions in cases 1 and 4 (Table III accuracy). */
+    double accuracy() const;
+
+    /** Storage cost in bytes (paper: 64B/core tables; 512B total). */
+    std::uint64_t storageBytes() const;
+
+    void registerStats(StatRegistry &registry, const std::string &prefix);
+
+  private:
+    std::uint32_t indexOf(InstAddr pc) const;
+
+    PredictorKind kind_;
+    std::uint32_t numCores_;
+    std::uint32_t groupSize_;
+    std::uint32_t tableEntries_;
+
+    /** numCores_ x kTableEntries 2-bit LLRs (stored bytewise). */
+    std::vector<std::uint8_t> table_;
+
+    std::vector<Counter> cases_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_CORE_LINE_LOCATION_PREDICTOR_HH

@@ -1,0 +1,92 @@
+#include "core/line_location_table.hh"
+
+#include <cassert>
+
+#include "util/bitops.hh"
+
+namespace cameo
+{
+
+LineLocationTable::LineLocationTable(std::uint64_t num_groups,
+                                     std::uint32_t group_size)
+    : numGroups_(num_groups), groupSize_(group_size)
+{
+    assert(num_groups != 0);
+    assert(group_size >= 2 && group_size <= 16);
+    loc_.resize(num_groups * group_size);
+    for (std::uint64_t g = 0; g < num_groups; ++g) {
+        for (std::uint32_t s = 0; s < group_size; ++s)
+            loc_[index(g, s)] = static_cast<std::uint8_t>(s);
+    }
+}
+
+std::uint32_t
+LineLocationTable::locationOf(std::uint64_t group, std::uint32_t slot) const
+{
+    assert(group < numGroups_ && slot < groupSize_);
+    return loc_[index(group, slot)];
+}
+
+std::uint32_t
+LineLocationTable::slotAt(std::uint64_t group, std::uint32_t loc) const
+{
+    assert(group < numGroups_ && loc < groupSize_);
+    for (std::uint32_t s = 0; s < groupSize_; ++s) {
+        if (loc_[index(group, s)] == loc)
+            return s;
+    }
+    assert(false && "LLT entry is not a permutation");
+    return 0;
+}
+
+void
+LineLocationTable::swapSlots(std::uint64_t group, std::uint32_t slot_a,
+                             std::uint32_t slot_b)
+{
+    assert(group < numGroups_ && slot_a < groupSize_ && slot_b < groupSize_);
+    std::swap(loc_[index(group, slot_a)], loc_[index(group, slot_b)]);
+}
+
+bool
+LineLocationTable::verifyGroup(std::uint64_t group) const
+{
+    assert(group < numGroups_);
+    std::uint32_t seen = 0;
+    for (std::uint32_t s = 0; s < groupSize_; ++s) {
+        const std::uint32_t l = loc_[index(group, s)];
+        if (l >= groupSize_)
+            return false;
+        if (seen & (1u << l))
+            return false;
+        seen |= 1u << l;
+    }
+    return seen == (1u << groupSize_) - 1;
+}
+
+std::uint64_t
+LineLocationTable::encodedBytes() const
+{
+    const unsigned bits_per_field =
+        isPowerOfTwo(groupSize_) ? exactLog2(groupSize_)
+                                 : floorLog2(groupSize_) + 1;
+    const std::uint64_t bits =
+        numGroups_ * std::uint64_t{groupSize_} * bits_per_field;
+    return divCeil(bits, 8);
+}
+
+std::uint64_t
+LineLocationTable::permutedGroups() const
+{
+    std::uint64_t count = 0;
+    for (std::uint64_t g = 0; g < numGroups_; ++g) {
+        for (std::uint32_t s = 0; s < groupSize_; ++s) {
+            if (loc_[index(g, s)] != s) {
+                ++count;
+                break;
+            }
+        }
+    }
+    return count;
+}
+
+} // namespace cameo

@@ -1,0 +1,4 @@
+#include "dram/address_map.hh"
+
+// DramAddressMap is header-only; translation unit kept for symmetry and
+// future out-of-line growth.

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Device-line to (channel, bank, row) decomposition.
+ *
+ * Consecutive lines interleave across channels (maximizing channel-level
+ * parallelism for streams, as in the stacked-DRAM cache literature);
+ * within a channel, linesPerRow consecutive channel-local lines share a
+ * row, and rows interleave across banks.
+ *
+ * Channel and bank selection XOR-fold higher address bits (permutation-
+ * based interleaving, as real memory controllers do) so that strided
+ * patterns — e.g. a workload touching every 6th line of each page —
+ * cannot degenerate onto a subset of channels or banks.
+ */
+
+#ifndef CAMEO_DRAM_ADDRESS_MAP_HH
+#define CAMEO_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "dram/timings.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Decoded location of a line inside a DRAM module. */
+struct DramCoord
+{
+    std::uint32_t channel;
+    std::uint32_t bank;
+    std::uint64_t row;
+
+    bool operator==(const DramCoord &) const = default;
+};
+
+/** Pure-function address decomposition for one module's geometry. */
+class DramAddressMap
+{
+  public:
+    explicit DramAddressMap(const DramTimings &timings)
+        : channels_(timings.channels), banks_(timings.banksPerChannel),
+          linesPerRow_(timings.linesPerRow)
+    {}
+
+    /** Decode a device line address. */
+    DramCoord decode(std::uint64_t device_line) const
+    {
+        // XOR-fold page/row bits into the channel index so strided
+        // accesses still spread (permutation interleaving).
+        const std::uint64_t chan_key =
+            device_line ^ (device_line >> 7) ^ (device_line >> 13);
+        const std::uint64_t chan = chan_key % channels_;
+        const std::uint64_t within = device_line / channels_;
+        const std::uint64_t row_seq = within / linesPerRow_;
+        const std::uint64_t bank_key = row_seq ^ (row_seq >> 5);
+        return DramCoord{
+            static_cast<std::uint32_t>(chan),
+            static_cast<std::uint32_t>(bank_key % banks_),
+            row_seq / banks_,
+        };
+    }
+
+    std::uint32_t channels() const { return channels_; }
+    std::uint32_t banksPerChannel() const { return banks_; }
+    std::uint32_t linesPerRow() const { return linesPerRow_; }
+
+  private:
+    std::uint32_t channels_;
+    std::uint32_t banks_;
+    std::uint32_t linesPerRow_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_DRAM_ADDRESS_MAP_HH

@@ -1,0 +1,3 @@
+#include "dram/bank.hh"
+
+// Bank is a plain state holder; see DramModule for the timing logic.

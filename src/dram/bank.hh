@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-bank row-buffer and busy state.
+ *
+ * A bank tracks which row is open, when it was activated (to honor
+ * tRAS before precharge), and when it next becomes available. The
+ * timing arithmetic itself lives in DramModule so the three row-buffer
+ * outcomes (hit / closed / conflict) are decided in one place.
+ */
+
+#ifndef CAMEO_DRAM_BANK_HH
+#define CAMEO_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Row-buffer outcome of one access, for statistics. */
+enum class RowOutcome
+{
+    Hit,      ///< Open row matched the request.
+    Closed,   ///< No row was open (first access or after precharge).
+    Conflict, ///< A different row was open and had to be closed.
+};
+
+/** Mutable state of one DRAM bank. */
+struct Bank
+{
+    /** Sentinel for "no open row". */
+    static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+
+    /** Currently open row, or kNoRow. */
+    std::uint64_t openRow = kNoRow;
+
+    /** Time the open row was activated (for the tRAS constraint). */
+    Tick activateTick = 0;
+
+    /** Time at which the bank can accept the next command. */
+    Tick readyTick = 0;
+
+    /** Classify what an access to @p row would experience right now. */
+    RowOutcome
+    outcomeFor(std::uint64_t row) const
+    {
+        if (openRow == row)
+            return RowOutcome::Hit;
+        if (openRow == kNoRow)
+            return RowOutcome::Closed;
+        return RowOutcome::Conflict;
+    }
+};
+
+} // namespace cameo
+
+#endif // CAMEO_DRAM_BANK_HH

@@ -1,0 +1,3 @@
+#include "dram/channel.hh"
+
+// Channel is a plain state holder; see DramModule for the timing logic.

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Per-channel state: the shared data bus and the channel's banks.
+ */
+
+#ifndef CAMEO_DRAM_CHANNEL_HH
+#define CAMEO_DRAM_CHANNEL_HH
+
+#include <vector>
+
+#include "dram/bank.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** One DRAM channel: a data bus shared by several banks. */
+struct Channel
+{
+    explicit Channel(std::uint32_t num_banks) : banks(num_banks) {}
+
+    /** Time at which the data bus frees up. */
+    Tick busReadyTick = 0;
+
+    std::vector<Bank> banks;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_DRAM_CHANNEL_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * DramModule: the timing and bandwidth model of one DRAM device
+ * (stacked or off-chip).
+ *
+ * The model is resource-reservation based: each access computes its
+ * completion time from the target bank's row-buffer state and the
+ * channel bus occupancy, then reserves those resources. This captures
+ * the two effects the paper's evaluation depends on — access latency
+ * under row-buffer locality, and bandwidth saturation when a design
+ * moves too much data (TLM-Dynamic's page swaps, LLP's wasted parallel
+ * fetches) — without a full command-level controller.
+ *
+ * Requests whose arrival times are slightly out of order (cores advance
+ * local clocks independently) are tolerated: reservation times are
+ * monotone per resource, so a late-arriving earlier request simply
+ * queues behind the reservation.
+ */
+
+#ifndef CAMEO_DRAM_DRAM_MODULE_HH
+#define CAMEO_DRAM_DRAM_MODULE_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/address_map.hh"
+#include "dram/bank.hh"
+#include "dram/channel.hh"
+#include "dram/timings.hh"
+#include "stats/counter.hh"
+#include "stats/distribution.hh"
+#include "stats/registry.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Timing and bandwidth model of a single DRAM device. */
+class DramModule
+{
+  public:
+    /**
+     * @param name           Stat prefix, e.g. "dram.stacked".
+     * @param timings        Geometry and timing parameters.
+     * @param capacity_bytes Device capacity; accesses beyond it assert.
+     */
+    DramModule(std::string name, const DramTimings &timings,
+               std::uint64_t capacity_bytes);
+
+    DramModule(const DramModule &) = delete;
+    DramModule &operator=(const DramModule &) = delete;
+
+    /**
+     * Perform one access.
+     *
+     * @param now         Earliest time the command may issue.
+     * @param device_line Line index within this device.
+     * @param is_write    Write (writeback/fill) or read.
+     * @param burst_bytes Data moved: 64 for a plain line, 80 for a
+     *                    CAMEO LEAD or Alloy TAD burst.
+     * @return Completion time (data fully transferred).
+     */
+    Tick access(Tick now, std::uint64_t device_line, bool is_write,
+                std::uint32_t burst_bytes = kLineBytes);
+
+    /**
+     * Earliest time a read of @p device_line could begin service
+     * (resource availability only; no state change). Used to decide
+     * whether a speculative fetch can be squashed: if its verification
+     * arrives before the request would leave the controller queue, it
+     * never occupies the bus.
+     */
+    Tick earliestServiceStart(std::uint64_t device_line) const;
+
+    /** Device capacity in 64-byte lines. */
+    std::uint64_t capacityLines() const { return capacityLines_; }
+
+    /** Device capacity in bytes. */
+    std::uint64_t capacityBytes() const
+    {
+        return capacityLines_ * kLineBytes;
+    }
+
+    /** Total bytes moved on the buses so far (reads + writes). */
+    std::uint64_t bytesTransferred() const
+    {
+        return readBytes_.value() + writeBytes_.value();
+    }
+
+    const DramTimings &timings() const { return timings_; }
+    const DramAddressMap &addressMap() const { return map_; }
+    const std::string &name() const { return name_; }
+
+    /**
+     * Unloaded read latency for @p burst_bytes with a closed row — the
+     * analytic "latency unit" used by the Figure 8 bench.
+     */
+    Tick idleLatency(std::uint32_t burst_bytes = kLineBytes) const
+    {
+        return timings_.idleLatency(burst_bytes);
+    }
+
+    /** Register this module's counters with @p registry. */
+    void registerStats(StatRegistry &registry);
+
+    // Raw counters (also reachable via the registry).
+    const Counter &reads() const { return reads_; }
+    const Counter &writes() const { return writes_; }
+    const Counter &readBytes() const { return readBytes_; }
+    const Counter &writeBytes() const { return writeBytes_; }
+    const Counter &rowHits() const { return rowHits_; }
+    const Counter &rowClosed() const { return rowClosed_; }
+    const Counter &rowConflicts() const { return rowConflicts_; }
+    const Counter &refreshStalls() const { return refreshStalls_; }
+
+    /** Distribution of read-access latencies (request to data). */
+    const Distribution &readLatency() const { return readLatency_; }
+
+    /** Reset dynamic state (row buffers, reservations) and counters. */
+    void reset();
+
+  private:
+    std::string name_;
+    DramTimings timings_;
+    DramAddressMap map_;
+    std::uint64_t capacityLines_;
+    std::vector<Channel> channels_;
+
+    Counter reads_;
+    Counter writes_;
+    Counter readBytes_;
+    Counter writeBytes_;
+    Counter rowHits_;
+    Counter rowClosed_;
+    Counter rowConflicts_;
+    Counter refreshStalls_;
+    Distribution readLatency_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_DRAM_DRAM_MODULE_HH

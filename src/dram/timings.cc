@@ -1,0 +1,42 @@
+#include "dram/timings.hh"
+
+namespace cameo
+{
+
+DramTimings
+stackedTimings()
+{
+    DramTimings t;
+    t.cpuMhz = 3200;
+    t.busMhz = 1600;
+    t.channels = 16;
+    t.banksPerChannel = 16;
+    t.busWidthBits = 128;
+    t.rowBytes = 2048;
+    t.linesPerRow = 32;
+    t.tCas = 9;
+    t.tRcd = 9;
+    t.tRp = 9;
+    t.tRas = 36;
+    return t;
+}
+
+DramTimings
+offchipTimings()
+{
+    DramTimings t;
+    t.cpuMhz = 3200;
+    t.busMhz = 800;
+    t.channels = 8;
+    t.banksPerChannel = 8;
+    t.busWidthBits = 64;
+    t.rowBytes = 2048;
+    t.linesPerRow = 32;
+    t.tCas = 9;
+    t.tRcd = 9;
+    t.tRp = 9;
+    t.tRas = 36;
+    return t;
+}
+
+} // namespace cameo

@@ -1,0 +1,76 @@
+#include "energy/power_model.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cameo
+{
+
+namespace
+{
+
+struct Budget
+{
+    double processor;
+    double memory;
+    double storage;
+};
+
+Budget
+budgetFor(WorkloadCategory category)
+{
+    // Section VI-C's component splits of baseline power.
+    if (category == WorkloadCategory::CapacityLimited)
+        return Budget{0.60, 0.20, 0.20};
+    return Budget{0.70, 0.30, 0.0};
+}
+
+} // namespace
+
+EnergyBreakdown
+normalizedPower(const EnergyInputs &inputs, const PowerModelParams &params)
+{
+    assert(inputs.timeRatio > 0.0);
+    const Budget budget = budgetFor(inputs.category);
+    const double tau = inputs.timeRatio;
+
+    EnergyBreakdown out;
+    // Processor power is constant while running (same cores, same
+    // frequency); normalized power is per unit time, so it stays at
+    // its budget share.
+    out.processor = budget.processor;
+
+    // Off-chip DRAM: static share plus dynamic share scaled by the
+    // bandwidth *rate* ratio (bytes ratio divided by time ratio).
+    out.offchip =
+        budget.memory * (params.staticFraction +
+                         (1.0 - params.staticFraction) *
+                             (inputs.offchipByteRatio / tau));
+
+    // Stacked DRAM: present only in non-baseline designs.
+    if (inputs.hasStacked) {
+        out.stacked =
+            budget.memory * (params.stackedStaticShare +
+                             params.stackedDynamicCoeff *
+                                 (inputs.stackedByteRatio / tau));
+    }
+
+    // Storage: only charged for Capacity-Limited workloads (the
+    // Latency-Limited budget gives storage no share).
+    if (budget.storage > 0.0) {
+        out.storage =
+            budget.storage * (params.staticFraction +
+                              (1.0 - params.staticFraction) *
+                                  (inputs.storageByteRatio / tau));
+    }
+    return out;
+}
+
+double
+normalizedEdp(const EnergyInputs &inputs, const PowerModelParams &params)
+{
+    const double power = normalizedPower(inputs, params).total();
+    return power * inputs.timeRatio * inputs.timeRatio;
+}
+
+} // namespace cameo

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Activity-based power and EDP model (Section VI-C).
+ *
+ * The paper's model assigns component budgets of baseline system power
+ * — Capacity-Limited workloads: 60% processor, 20% memory, 20% storage;
+ * Latency-Limited: 70% processor, 30% memory — and derives per-design
+ * power from datasheet numbers. We reproduce the same structure:
+ * each component has a static share and a dynamic share that scales
+ * with its bandwidth *rate* relative to the baseline off-chip rate;
+ * stacked DRAM adds its own static power and moves bytes more
+ * efficiently. All outputs are normalized to the baseline system, as
+ * in Figure 14.
+ */
+
+#ifndef CAMEO_ENERGY_POWER_MODEL_HH
+#define CAMEO_ENERGY_POWER_MODEL_HH
+
+#include "trace/workloads.hh"
+
+namespace cameo
+{
+
+/** Normalized per-component power (baseline total = 1.0). */
+struct EnergyBreakdown
+{
+    double processor = 0.0;
+    double stacked = 0.0;
+    double offchip = 0.0;
+    double storage = 0.0;
+
+    double total() const { return processor + stacked + offchip + storage; }
+};
+
+/** Activity ratios of one configuration versus the baseline run. */
+struct EnergyInputs
+{
+    WorkloadCategory category = WorkloadCategory::LatencyLimited;
+
+    /** T_config / T_baseline (< 1 when the design is faster). */
+    double timeRatio = 1.0;
+
+    /** Off-chip bytes moved, relative to baseline off-chip bytes. */
+    double offchipByteRatio = 1.0;
+
+    /** Stacked bytes moved, relative to baseline *off-chip* bytes. */
+    double stackedByteRatio = 0.0;
+
+    /** Storage bytes moved, relative to baseline storage bytes
+     *  (ignored for Latency-Limited workloads). */
+    double storageByteRatio = 1.0;
+
+    /** False for the baseline itself (no stacked static power). */
+    bool hasStacked = true;
+};
+
+/** Model constants (documented in DESIGN.md; exposed for ablations). */
+struct PowerModelParams
+{
+    /** Static fraction of each DRAM/storage component's budget. */
+    double staticFraction = 0.5;
+
+    /** Stacked static power as a fraction of the memory budget. */
+    double stackedStaticShare = 0.36;
+
+    /** Stacked dynamic coefficient: energy per byte relative to
+     *  off-chip DRAM (3D stacking moves bits over shorter wires). */
+    double stackedDynamicCoeff = 0.15;
+};
+
+/** Normalized power of a configuration (baseline = 1.0). */
+EnergyBreakdown normalizedPower(const EnergyInputs &inputs,
+                                const PowerModelParams &params = {});
+
+/**
+ * Normalized energy-delay product: power * timeRatio^2
+ * (E*D = P*T * T). Baseline = 1.0; lower is better.
+ */
+double normalizedEdp(const EnergyInputs &inputs,
+                     const PowerModelParams &params = {});
+
+} // namespace cameo
+
+#endif // CAMEO_ENERGY_POWER_MODEL_HH

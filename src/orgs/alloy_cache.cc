@@ -1,0 +1,154 @@
+#include "orgs/alloy_cache.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bitops.hh"
+
+namespace cameo
+{
+
+namespace
+{
+
+/** Stacked timings adjusted for the 28-TADs-per-row layout. */
+DramTimings
+tadTimings(DramTimings t)
+{
+    t.linesPerRow = AlloyCacheOrg::kTadsPerRow;
+    return t;
+}
+
+} // namespace
+
+AlloyCacheOrg::AlloyCacheOrg(const OrgConfig &config,
+                             std::uint64_t backing_bytes, std::string name)
+    : MemoryOrganization(std::move(name)),
+      stacked_("dram.stacked", tadTimings(config.stacked),
+               config.stackedBytes),
+      offchip_("dram.offchip", config.offchip, backing_bytes),
+      numSets_(config.stackedBytes / kLineBytes / 32 * kTadsPerRow),
+      sets_(numSets_),
+      map_(std::size_t{config.numCores} * kMapEntries, 0),
+      hits_("alloy.hits", "DRAM cache hits"),
+      misses_("alloy.misses", "DRAM cache misses"),
+      mapCorrect_("alloy.mapCorrect", "MAP predictions correct"),
+      mapWrong_("alloy.mapWrong", "MAP predictions wrong"),
+      wastedFetches_("alloy.wastedFetches",
+                     "parallel off-chip fetches that were not needed")
+{
+    assert(numSets_ != 0);
+}
+
+std::size_t
+AlloyCacheOrg::mapIndex(std::uint32_t core, InstAddr pc) const
+{
+    return std::size_t{core} * kMapEntries + (mix64(pc) % kMapEntries);
+}
+
+bool
+AlloyCacheOrg::predictHit(std::uint32_t core, InstAddr pc) const
+{
+    return map_[mapIndex(core, pc)] >= kMapThreshold;
+}
+
+void
+AlloyCacheOrg::trainPredictor(std::uint32_t core, InstAddr pc, bool hit)
+{
+    std::uint8_t &counter = map_[mapIndex(core, pc)];
+    if (hit) {
+        if (counter < kMapMax)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+Tick
+AlloyCacheOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
+                      std::uint32_t core)
+{
+    assert(line < offchip_.capacityLines());
+    const std::uint64_t set_idx = line % numSets_;
+    Set &set = sets_[set_idx];
+    const bool hit = set.valid && set.tag == line;
+
+    if (is_write) {
+        // L3 writeback: update in place on hit; on miss, install the
+        // line (evicted L3 lines are recently used and likely to be
+        // re-referenced — stacked caches allocate on writeback).
+        if (!hit && set.valid && set.dirty)
+            offchip_.access(now, set.tag, true, kLineBytes);
+        const Tick done = stacked_.access(now, set_idx, true,
+                                          kTadBurstBytes);
+        set.tag = line;
+        set.valid = true;
+        set.dirty = true;
+        return done;
+    }
+
+    const bool pred_hit = predictHit(core, pc);
+    // The TAD read doubles as tag check and (on hit) data delivery.
+    const Tick t_tad = stacked_.access(now, set_idx, false, kTadBurstBytes);
+
+    Tick done;
+    if (hit) {
+        hits_.inc();
+        done = t_tad;
+        if (!pred_hit) {
+            // Predicted miss but hit: the speculative off-chip fetch
+            // is squashed once the TAD verifies the hit, unless the
+            // memory would already have serviced it by then.
+            if (offchip_.earliestServiceStart(line) <= t_tad) {
+                offchip_.access(now, line, false, kLineBytes);
+                wastedFetches_.inc();
+            }
+        }
+    } else {
+        misses_.inc();
+        // Off-chip fetch: parallel with the TAD read when predicted
+        // miss, serialized behind the tag check otherwise.
+        const Tick issue = pred_hit ? t_tad : now;
+        const Tick t_off = offchip_.access(issue, line, false, kLineBytes);
+        done = std::max(t_tad, t_off);
+
+        // Fill: install the TAD; evict dirty victim to off-chip. The
+        // fill/writeback queues drain opportunistically, so their
+        // traffic is billed at request time (they contend for the
+        // buses but are not on the demand critical path).
+        if (set.valid && set.dirty)
+            offchip_.access(now, set.tag, true, kLineBytes);
+        stacked_.access(now, set_idx, true, kTadBurstBytes);
+        set.tag = line;
+        set.valid = true;
+        set.dirty = false;
+    }
+
+    (pred_hit == hit ? mapCorrect_ : mapWrong_).inc();
+    trainPredictor(core, pc, hit);
+    return done;
+}
+
+double
+AlloyCacheOrg::hitRate() const
+{
+    const std::uint64_t total = hits_.value() + misses_.value();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(hits_.value()) / static_cast<double>(total);
+}
+
+void
+AlloyCacheOrg::registerStats(StatRegistry &registry)
+{
+    stacked_.registerStats(registry);
+    offchip_.registerStats(registry);
+    registry.add(hits_);
+    registry.add(misses_);
+    registry.add(mapCorrect_);
+    registry.add(mapWrong_);
+    registry.add(wastedFetches_);
+}
+
+} // namespace cameo

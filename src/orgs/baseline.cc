@@ -1,0 +1,30 @@
+#include "orgs/baseline.hh"
+
+#include <cassert>
+
+namespace cameo
+{
+
+BaselineOrg::BaselineOrg(const OrgConfig &config)
+    : MemoryOrganization("Baseline"),
+      offchip_("dram.offchip", config.offchip, config.offchipBytes)
+{
+}
+
+Tick
+BaselineOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
+                    std::uint32_t core)
+{
+    (void)pc;
+    (void)core;
+    assert(line < offchip_.capacityLines());
+    return offchip_.access(now, line, is_write, kLineBytes);
+}
+
+void
+BaselineOrg::registerStats(StatRegistry &registry)
+{
+    offchip_.registerStats(registry);
+}
+
+} // namespace cameo

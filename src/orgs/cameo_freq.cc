@@ -1,0 +1,56 @@
+#include "orgs/cameo_freq.hh"
+
+#include <algorithm>
+
+namespace cameo
+{
+
+CameoFreqOrg::CameoFreqOrg(const OrgConfig &config)
+    : CameoOrg(config, "CAMEO-Freq"),
+      pageCount_((config.stackedBytes + config.offchipBytes) / kPageBytes,
+                 0),
+      epochLength_(config.freqEpochAccesses),
+      hotPages_("cameofreq.hotAdmissions",
+                "swap admissions from the hot-page filter")
+{
+    controller().setSwapFilter([this](LineAddr line) {
+        const PageAddr page = lineToPage(line);
+        if (page >= pageCount_.size())
+            return true; // defensive: unknown pages swap as stock CAMEO
+        if (pageCount_[page] >= kHotThreshold) {
+            hotPages_.inc();
+            return true;
+        }
+        return false;
+    });
+}
+
+Tick
+CameoFreqOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
+                     std::uint32_t core)
+{
+    const PageAddr page = lineToPage(line);
+    if (page < pageCount_.size() && pageCount_[page] < 255)
+        ++pageCount_[page];
+    if (++accessesThisEpoch_ >= epochLength_) {
+        accessesThisEpoch_ = 0;
+        decay();
+    }
+    return CameoOrg::access(now, line, is_write, pc, core);
+}
+
+void
+CameoFreqOrg::decay()
+{
+    for (auto &c : pageCount_)
+        c = static_cast<std::uint8_t>(c >> 1);
+}
+
+void
+CameoFreqOrg::registerStats(StatRegistry &registry)
+{
+    CameoOrg::registerStats(registry);
+    registry.add(hotPages_);
+}
+
+} // namespace cameo

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CAMEO + frequency hints — the extension the paper sketches in the
+ * last paragraph of Section VI-D: "if page frequency information is
+ * available, CAMEO can retain lines from only heavily used pages in
+ * stacked DRAM."
+ *
+ * A hardware page-access counter table (epoch-decayed, as TLM-Freq
+ * would maintain) feeds CAMEO's swap admission: lines of pages that
+ * have not yet proven hot are serviced from off-chip memory *in place*
+ * — no swap, no victim write — so streaming or single-touch pages stop
+ * churning the stacked slots and the victim-writeback bandwidth is
+ * saved. Everything else is stock CAMEO.
+ */
+
+#ifndef CAMEO_ORGS_CAMEO_FREQ_HH
+#define CAMEO_ORGS_CAMEO_FREQ_HH
+
+#include <vector>
+
+#include "orgs/cameo_org.hh"
+
+namespace cameo
+{
+
+/** CAMEO with frequency-directed swap admission. */
+class CameoFreqOrg : public CameoOrg
+{
+  public:
+    /** Page touches within the decay window required to admit swaps. */
+    static constexpr std::uint32_t kHotThreshold = 4;
+
+    explicit CameoFreqOrg(const OrgConfig &config);
+
+    Tick access(Tick now, LineAddr line, bool is_write, InstAddr pc,
+                std::uint32_t core) override;
+
+    void registerStats(StatRegistry &registry) override;
+
+    const Counter &hotPages() const { return hotPages_; }
+
+  private:
+    /** Halve all counters (called every epoch of demand accesses). */
+    void decay();
+
+    std::vector<std::uint8_t> pageCount_; ///< Saturating, per OS page.
+    std::uint64_t epochLength_;
+    std::uint64_t accessesThisEpoch_ = 0;
+
+    Counter hotPages_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_ORGS_CAMEO_FREQ_HH

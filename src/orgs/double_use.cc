@@ -1,0 +1,3 @@
+#include "orgs/double_use.hh"
+
+// DoubleUseOrg is a configuration of AlloyCacheOrg; see the header.

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * DoubleUse: the paper's idealistic upper bound (Section II-D).
+ *
+ * The stacked DRAM acts as an Alloy cache *and* the system magically
+ * gains main-memory capacity equal to the stacked size — i.e. the
+ * backing memory is (off-chip + stacked) bytes while the cache still
+ * exists. Physically unrealizable; it bounds what CAMEO can achieve.
+ */
+
+#ifndef CAMEO_ORGS_DOUBLE_USE_HH
+#define CAMEO_ORGS_DOUBLE_USE_HH
+
+#include "orgs/alloy_cache.hh"
+
+namespace cameo
+{
+
+/** Alloy cache over a memory enlarged by the stacked capacity. */
+class DoubleUseOrg : public AlloyCacheOrg
+{
+  public:
+    explicit DoubleUseOrg(const OrgConfig &config)
+        : AlloyCacheOrg(config, config.offchipBytes + config.stackedBytes,
+                        "DoubleUse")
+    {
+    }
+};
+
+} // namespace cameo
+
+#endif // CAMEO_ORGS_DOUBLE_USE_HH

@@ -1,0 +1,89 @@
+#include "orgs/memory_organization.hh"
+
+#include <cassert>
+
+#include "orgs/alloy_cache.hh"
+#include "orgs/baseline.hh"
+#include "orgs/cameo_freq.hh"
+#include "orgs/cameo_org.hh"
+#include "orgs/double_use.hh"
+#include "orgs/tlm_dynamic.hh"
+#include "orgs/tlm_freq.hh"
+#include "orgs/tlm_oracle.hh"
+#include "orgs/tlm_static.hh"
+
+namespace cameo
+{
+
+MemoryOrganization::~MemoryOrganization() = default;
+
+void
+MemoryOrganization::onPageMapped(std::uint32_t frame, std::uint32_t core,
+                                 PageAddr vpage)
+{
+    (void)frame;
+    (void)core;
+    (void)vpage;
+}
+
+void
+MemoryOrganization::setPageHeat(PageHeatMap heat)
+{
+    (void)heat;
+    assert(false && "this organization does not take page-heat oracles");
+}
+
+const char *
+orgKindName(OrgKind kind)
+{
+    switch (kind) {
+      case OrgKind::Baseline:
+        return "Baseline";
+      case OrgKind::AlloyCache:
+        return "Cache";
+      case OrgKind::TlmStatic:
+        return "TLM-Static";
+      case OrgKind::TlmDynamic:
+        return "TLM-Dynamic";
+      case OrgKind::TlmFreq:
+        return "TLM-Freq";
+      case OrgKind::TlmOracle:
+        return "TLM-Oracle";
+      case OrgKind::DoubleUse:
+        return "DoubleUse";
+      case OrgKind::Cameo:
+        return "CAMEO";
+      case OrgKind::CameoFreq:
+        return "CAMEO-Freq";
+    }
+    return "Unknown";
+}
+
+std::unique_ptr<MemoryOrganization>
+makeOrganization(OrgKind kind, const OrgConfig &config)
+{
+    switch (kind) {
+      case OrgKind::Baseline:
+        return std::make_unique<BaselineOrg>(config);
+      case OrgKind::AlloyCache:
+        return std::make_unique<AlloyCacheOrg>(config,
+                                               config.offchipBytes);
+      case OrgKind::TlmStatic:
+        return std::make_unique<TlmStaticOrg>(config);
+      case OrgKind::TlmDynamic:
+        return std::make_unique<TlmDynamicOrg>(config);
+      case OrgKind::TlmFreq:
+        return std::make_unique<TlmFreqOrg>(config);
+      case OrgKind::TlmOracle:
+        return std::make_unique<TlmOracleOrg>(config);
+      case OrgKind::DoubleUse:
+        return std::make_unique<DoubleUseOrg>(config);
+      case OrgKind::Cameo:
+        return std::make_unique<CameoOrg>(config);
+      case OrgKind::CameoFreq:
+        return std::make_unique<CameoFreqOrg>(config);
+    }
+    return nullptr;
+}
+
+} // namespace cameo

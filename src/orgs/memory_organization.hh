@@ -1,0 +1,152 @@
+/**
+ * @file
+ * MemoryOrganization: the interface every stacked-DRAM usage model
+ * implements, plus the factory used by System and the benches.
+ *
+ * An organization owns its DRAM module(s), decides how OS-physical line
+ * addresses map onto devices, and models the timing of each access. It
+ * also reports the OS-visible capacity it exposes — the property that
+ * separates a cache (stacked DRAM invisible) from TLM/CAMEO (visible),
+ * and therefore drives the page-fault behaviour of Capacity-Limited
+ * workloads.
+ */
+
+#ifndef CAMEO_ORGS_MEMORY_ORGANIZATION_HH
+#define CAMEO_ORGS_MEMORY_ORGANIZATION_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/cameo_controller.hh"
+#include "dram/dram_module.hh"
+#include "dram/timings.hh"
+#include "stats/registry.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** The designs compared throughout the paper's evaluation. */
+enum class OrgKind
+{
+    Baseline,   ///< No stacked DRAM; off-chip only.
+    AlloyCache, ///< Stacked DRAM as an Alloy (direct-mapped TAD) cache.
+    TlmStatic,  ///< Two-Level Memory, random static page placement.
+    TlmDynamic, ///< TLM + page swap on off-chip access (Section II-C).
+    TlmFreq,    ///< TLM + epoch-based frequency placement (Sec VI-D).
+    TlmOracle,  ///< TLM + oracular page placement (Section VI-D).
+    DoubleUse,  ///< Idealistic: cache AND extra capacity (Sec II-D).
+    Cameo,      ///< The paper's proposal.
+    CameoFreq,  ///< CAMEO + frequency-directed swap admission (the
+                ///< Section VI-D extension; see orgs/cameo_freq.hh).
+};
+
+/** Printable name of an organization kind. */
+const char *orgKindName(OrgKind kind);
+
+/** Everything needed to construct any organization. */
+struct OrgConfig
+{
+    std::uint64_t stackedBytes = 8ull << 20;
+    std::uint64_t offchipBytes = 24ull << 20;
+    DramTimings stacked = stackedTimings();
+    DramTimings offchip = offchipTimings();
+    std::uint32_t numCores = 8;
+    std::uint64_t seed = 42;
+
+    /** CAMEO design point (Figures 9 and 12). */
+    LltKind lltKind = LltKind::CoLocated;
+    PredictorKind predictorKind = PredictorKind::Llp;
+    std::uint32_t llpTableEntries = 256;
+
+    /** TLM-Freq epoch length in demand accesses. */
+    std::uint64_t freqEpochAccesses = 64 * 1024;
+
+    /** TLM-Dynamic victim probes (approximate-LRU width). */
+    std::uint32_t tlmVictimProbes = 8;
+
+    /**
+     * TLM-Dynamic migration hysteresis: an off-chip page migrates into
+     * stacked memory on its Nth access while off-chip. 1 = migrate on
+     * first touch (maximally aggressive); 2 filters one-touch pages,
+     * the standard OS guard against migration thrash.
+     */
+    std::uint32_t tlmMigrateThreshold = 2;
+};
+
+/** Oracular page heat keyed by (core, vpage); see TlmOracleOrg. */
+using PageHeatMap = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+/** Key for PageHeatMap entries. */
+constexpr std::uint64_t
+pageHeatKey(std::uint32_t core, PageAddr vpage)
+{
+    return (static_cast<std::uint64_t>(core) << 48) | vpage;
+}
+
+/** Base class for all stacked-DRAM usage models. */
+class MemoryOrganization
+{
+  public:
+    virtual ~MemoryOrganization();
+
+    MemoryOrganization(const MemoryOrganization &) = delete;
+    MemoryOrganization &operator=(const MemoryOrganization &) = delete;
+
+    /**
+     * Service one OS-physical line access.
+     *
+     * @param now      Request time.
+     * @param line     OS-physical line address.
+     * @param is_write L3 writeback (true) or demand fill (false).
+     * @param pc       Missing instruction address (for predictors).
+     * @param core     Requesting core id.
+     * @return Data-arrival time for reads; acceptance time for writes.
+     */
+    virtual Tick access(Tick now, LineAddr line, bool is_write, InstAddr pc,
+                        std::uint32_t core) = 0;
+
+    /** OS-visible memory capacity in bytes (whole pages). */
+    virtual std::uint64_t visibleBytes() const = 0;
+
+    /** Register the organization's statistics. */
+    virtual void registerStats(StatRegistry &registry) = 0;
+
+    /** Stacked module, if this organization has one. */
+    virtual DramModule *stackedModule() { return nullptr; }
+    virtual const DramModule *stackedModule() const { return nullptr; }
+
+    /** Off-chip module (every organization has one). */
+    virtual DramModule &offchipModule() = 0;
+    virtual const DramModule &offchipModule() const = 0;
+
+    /**
+     * Hook: a virtual page became resident in @p frame. TLM-Oracle uses
+     * this to steer placement; others ignore it.
+     */
+    virtual void onPageMapped(std::uint32_t frame, std::uint32_t core,
+                              PageAddr vpage);
+
+    /** CAMEO controller, if this organization is CAMEO. */
+    virtual const CameoController *cameo() const { return nullptr; }
+
+    /** Inject oracular page heat (TLM-Oracle only; others assert). */
+    virtual void setPageHeat(PageHeatMap heat);
+
+    const std::string &name() const { return name_; }
+
+  protected:
+    explicit MemoryOrganization(std::string name) : name_(std::move(name)) {}
+
+  private:
+    std::string name_;
+};
+
+/** Construct an organization of @p kind from @p config. */
+std::unique_ptr<MemoryOrganization> makeOrganization(OrgKind kind,
+                                                     const OrgConfig &config);
+
+} // namespace cameo
+
+#endif // CAMEO_ORGS_MEMORY_ORGANIZATION_HH

@@ -1,0 +1,83 @@
+#include "orgs/tlm_dynamic.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace cameo
+{
+
+TlmRemapBase::TlmRemapBase(const OrgConfig &config, std::string name)
+    : TlmStaticOrg(config, std::move(name))
+{
+    physToDev_.resize(totalPages_);
+    devToPhys_.resize(totalPages_);
+    std::iota(physToDev_.begin(), physToDev_.end(), 0u);
+    std::iota(devToPhys_.begin(), devToPhys_.end(), 0u);
+}
+
+std::uint64_t
+TlmRemapBase::devicePageOf(PageAddr phys_page) const
+{
+    assert(phys_page < physToDev_.size());
+    return physToDev_[phys_page];
+}
+
+void
+TlmRemapBase::swapMapping(PageAddr phys_a, PageAddr phys_b)
+{
+    assert(phys_a < physToDev_.size() && phys_b < physToDev_.size());
+    const std::uint32_t dev_a = physToDev_[phys_a];
+    const std::uint32_t dev_b = physToDev_[phys_b];
+    std::swap(physToDev_[phys_a], physToDev_[phys_b]);
+    devToPhys_[dev_a] = static_cast<std::uint32_t>(phys_b);
+    devToPhys_[dev_b] = static_cast<std::uint32_t>(phys_a);
+}
+
+TlmDynamicOrg::TlmDynamicOrg(const OrgConfig &config)
+    : TlmRemapBase(config, "TLM-Dynamic"),
+      stackedLastUse_(stackedPages_, 0), touchCount_(totalPages_, 0),
+      victimProbes_(config.tlmVictimProbes),
+      migrateThreshold_(std::max(1u, config.tlmMigrateThreshold)),
+      rng_(config.seed ^ 0xD15C)
+{
+}
+
+std::uint64_t
+TlmDynamicOrg::selectVictim()
+{
+    // Oldest of victimProbes_ random stacked device pages (approximate
+    // LRU, standing in for the OS's page-age bookkeeping).
+    std::uint64_t victim = rng_.next(stackedPages_);
+    for (std::uint32_t p = 1; p < victimProbes_; ++p) {
+        const std::uint64_t cand = rng_.next(stackedPages_);
+        if (stackedLastUse_[cand] < stackedLastUse_[victim])
+            victim = cand;
+    }
+    return victim;
+}
+
+void
+TlmDynamicOrg::postAccess(Tick when, PageAddr phys_page,
+                          std::uint64_t device_page, bool is_write)
+{
+    (void)is_write;
+    lastAccessTick_ = std::max(lastAccessTick_, when);
+    if (inStacked(device_page)) {
+        stackedLastUse_[device_page] = when;
+        touchCount_[phys_page] = 0;
+        return;
+    }
+    // Off-chip access: migrate the page into stacked memory once it
+    // has shown it is live (migrateThreshold_ touches), swapping with
+    // a not-recently-used victim.
+    if (++touchCount_[phys_page] < migrateThreshold_)
+        return;
+    touchCount_[phys_page] = 0;
+    const std::uint64_t victim_dev = selectVictim();
+    billPageSwap(when, device_page, victim_dev);
+    swapMapping(phys_page, physPageAt(victim_dev));
+    stackedLastUse_[victim_dev] = when;
+}
+
+} // namespace cameo

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * TLM with OS page migration.
+ *
+ * TlmRemapBase adds the page-remap machinery (OS-physical page ->
+ * device page, both directions) shared by every migrating TLM variant.
+ *
+ * TlmDynamicOrg is the paper's TLM-Dynamic (Section II-C): on an access
+ * to a page resident off-chip, the OS swaps that 4KB page with a
+ * not-recently-used victim page in stacked memory. Each swap costs 16KB
+ * of memory activity — the bandwidth bloat that makes TLM-Dynamic lose
+ * to CAMEO on workloads with poor within-page locality (milc) and on
+ * Capacity-Limited workloads.
+ */
+
+#ifndef CAMEO_ORGS_TLM_DYNAMIC_HH
+#define CAMEO_ORGS_TLM_DYNAMIC_HH
+
+#include <vector>
+
+#include "orgs/tlm_static.hh"
+#include "util/rng.hh"
+
+namespace cameo
+{
+
+/** Routing base with a mutable page remap table. */
+class TlmRemapBase : public TlmStaticOrg
+{
+  public:
+    TlmRemapBase(const OrgConfig &config, std::string name);
+
+    /** Current device page of an OS-physical page (for tests). */
+    std::uint64_t devicePageOfPublic(PageAddr phys_page) const
+    {
+        return devicePageOf(phys_page);
+    }
+
+  protected:
+    std::uint64_t devicePageOf(PageAddr phys_page) const override;
+
+    /**
+     * Exchange the device pages of two OS-physical pages (remap update
+     * only; traffic, if any, is billed separately by the caller).
+     */
+    void swapMapping(PageAddr phys_a, PageAddr phys_b);
+
+    /** OS-physical page currently occupying @p device_page. */
+    PageAddr physPageAt(std::uint64_t device_page) const
+    {
+        return devToPhys_[device_page];
+    }
+
+  private:
+    std::vector<std::uint32_t> physToDev_;
+    std::vector<std::uint32_t> devToPhys_;
+};
+
+/** TLM-Dynamic: swap-on-access page migration. */
+class TlmDynamicOrg : public TlmRemapBase
+{
+  public:
+    explicit TlmDynamicOrg(const OrgConfig &config);
+
+  protected:
+    void postAccess(Tick when, PageAddr phys_page,
+                    std::uint64_t device_page, bool is_write) override;
+
+  private:
+    /** Approximate-LRU victim: oldest of N random stacked pages. */
+    std::uint64_t selectVictim();
+
+    std::vector<Tick> stackedLastUse_; ///< Per stacked device page.
+    std::vector<std::uint8_t> touchCount_; ///< Per OS page, saturating.
+    std::uint32_t victimProbes_;
+    std::uint32_t migrateThreshold_;
+    Rng rng_;
+    Tick lastAccessTick_ = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_ORGS_TLM_DYNAMIC_HH

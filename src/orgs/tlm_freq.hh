@@ -1,0 +1,46 @@
+/**
+ * @file
+ * TLM-Freq (Section VI-D): hardware tracks page access frequency; the
+ * OS periodically migrates the hottest pages into stacked memory.
+ *
+ * Per the paper we ignore TLB-shootdown and software sorting overheads
+ * but fully model the page-transfer bandwidth. Counters decay by half
+ * each epoch so the placement tracks phase changes.
+ */
+
+#ifndef CAMEO_ORGS_TLM_FREQ_HH
+#define CAMEO_ORGS_TLM_FREQ_HH
+
+#include <vector>
+
+#include "orgs/tlm_dynamic.hh"
+
+namespace cameo
+{
+
+/** Epoch-based frequency-directed page placement. */
+class TlmFreqOrg : public TlmRemapBase
+{
+  public:
+    explicit TlmFreqOrg(const OrgConfig &config);
+
+    const Counter &epochs() const { return epochs_; }
+
+  protected:
+    void postAccess(Tick when, PageAddr phys_page,
+                    std::uint64_t device_page, bool is_write) override;
+
+  private:
+    /** Re-place pages at an epoch boundary; bill migration traffic. */
+    void rebalance(Tick when);
+
+    std::uint64_t epochLength_;
+    std::uint64_t accessesThisEpoch_ = 0;
+    std::vector<std::uint32_t> pageCount_; ///< Per OS-physical page.
+
+    Counter epochs_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_ORGS_TLM_FREQ_HH

@@ -1,0 +1,60 @@
+#include "orgs/tlm_oracle.hh"
+
+#include <cassert>
+
+namespace cameo
+{
+
+TlmOracleOrg::TlmOracleOrg(const OrgConfig &config)
+    : TlmRemapBase(config, "TLM-Oracle"), physHeat_(totalPages_, 0)
+{
+    // Initially every identity-mapped stacked device page holds a
+    // zero-heat physical page.
+    for (std::uint64_t p = 0; p < stackedPages_; ++p)
+        coldest_.emplace(0, p);
+}
+
+void
+TlmOracleOrg::setPageHeat(PageHeatMap heat)
+{
+    heat_ = std::move(heat);
+}
+
+void
+TlmOracleOrg::onPageMapped(std::uint32_t frame, std::uint32_t core,
+                           PageAddr vpage)
+{
+    const PageAddr phys_page = frame;
+    assert(phys_page < totalPages_);
+    const auto it = heat_.find(pageHeatKey(core, vpage));
+    const std::uint64_t h = it == heat_.end() ? 0 : it->second;
+    physHeat_[phys_page] = h;
+
+    if (inStacked(devicePageOf(phys_page))) {
+        // Already placed well; record its (new) heat.
+        coldest_.emplace(h, phys_page);
+        return;
+    }
+
+    // Pop stale entries (heat changed since insertion or the page
+    // moved out of stacked memory).
+    while (!coldest_.empty()) {
+        const auto [heat, page] = coldest_.top();
+        if (heat == physHeat_[page] && inStacked(devicePageOf(page)))
+            break;
+        coldest_.pop();
+    }
+    if (coldest_.empty())
+        return;
+
+    const auto [cold_heat, cold_page] = coldest_.top();
+    if (h > cold_heat) {
+        // Oracular placement: exchange mappings at no cost.
+        coldest_.pop();
+        swapMapping(phys_page, cold_page);
+        coldest_.emplace(h, phys_page);
+        // cold_page is now off-chip; its stale entries are skipped.
+    }
+}
+
+} // namespace cameo

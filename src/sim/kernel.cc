@@ -1,0 +1,56 @@
+#include "sim/kernel.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace cameo
+{
+
+void
+SimKernel::addAgent(Agent *agent)
+{
+    assert(agent != nullptr);
+    agents_.push_back(agent);
+}
+
+Tick
+SimKernel::run(std::uint64_t max_steps)
+{
+    // Lazy-update binary heap keyed by (tick, agent index): after an
+    // agent steps, push a fresh entry; stale entries are skipped when
+    // their stored tick no longer matches the agent's current tick.
+    using HeapEntry = std::pair<Tick, std::size_t>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> heap;
+
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+        if (!agents_[i]->done())
+            heap.emplace(agents_[i]->nextReadyTick(), i);
+    }
+
+    std::uint64_t steps = 0;
+    while (!heap.empty() && steps < max_steps) {
+        auto [tick, idx] = heap.top();
+        heap.pop();
+        Agent *agent = agents_[idx];
+        if (agent->done())
+            continue;
+        if (agent->nextReadyTick() != tick) {
+            // Stale entry; reinsert with the current key.
+            heap.emplace(agent->nextReadyTick(), idx);
+            continue;
+        }
+        agent->step();
+        ++steps;
+        if (!agent->done())
+            heap.emplace(agent->nextReadyTick(), idx);
+    }
+
+    Tick finish = 0;
+    for (const Agent *agent : agents_)
+        finish = std::max(finish, agent->nextReadyTick());
+    return finish;
+}
+
+} // namespace cameo

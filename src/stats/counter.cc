@@ -1,0 +1,5 @@
+#include "stats/counter.hh"
+
+// Counter is header-only; this translation unit exists so the stats
+// library always has at least one object file per public header and to
+// hold future out-of-line additions.

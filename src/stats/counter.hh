@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Named statistic counters.
+ *
+ * A Counter is a cheap uint64 accumulator with a name and description;
+ * components own their counters and optionally register them with a
+ * StatRegistry for uniform dumping. The design follows the gem5 stats
+ * package in spirit but is deliberately tiny: this simulator's figures
+ * of merit are execution time and byte counts, not exotic statistics.
+ */
+
+#ifndef CAMEO_STATS_COUNTER_HH
+#define CAMEO_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cameo
+{
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /**
+     * @param name Dotted hierarchical name, e.g. "dram.stacked.readBytes".
+     * @param desc One-line human description.
+     */
+    Counter(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    void inc(std::uint64_t amount = 1) { value_ += amount; }
+    void reset() { value_ = 0; }
+
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    Counter &operator+=(std::uint64_t amount)
+    {
+        value_ += amount;
+        return *this;
+    }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_STATS_COUNTER_HH

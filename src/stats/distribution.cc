@@ -1,0 +1,53 @@
+#include "stats/distribution.hh"
+
+#include <algorithm>
+
+namespace cameo
+{
+
+Distribution::Distribution(std::string name, std::string desc,
+                           std::uint64_t bucket_width,
+                           std::size_t num_buckets)
+    : name_(std::move(name)), desc_(std::move(desc)),
+      bucketWidth_(bucket_width)
+{
+    if (bucket_width != 0 && num_buckets != 0)
+        buckets_.assign(num_buckets, 0);
+}
+
+void
+Distribution::sample(std::uint64_t value)
+{
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    if (!buckets_.empty()) {
+        const std::uint64_t idx = value / bucketWidth_;
+        if (idx < buckets_.size())
+            ++buckets_[idx];
+        else
+            ++overflow_;
+    }
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0;
+    min_ = ~std::uint64_t{0};
+    max_ = 0;
+    overflow_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double
+Distribution::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+} // namespace cameo

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Streaming distribution statistic: count / sum / min / max / mean plus
+ * a fixed-width histogram. Used for memory-latency and queueing-delay
+ * profiles in tests and benches.
+ */
+
+#ifndef CAMEO_STATS_DISTRIBUTION_HH
+#define CAMEO_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cameo
+{
+
+/** Streaming samples with an optional bucketed histogram. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /**
+     * @param name         Dotted hierarchical name.
+     * @param desc         One-line description.
+     * @param bucket_width Histogram bucket width; 0 disables histogram.
+     * @param num_buckets  Number of buckets; samples beyond the last
+     *                     bucket are accumulated in an overflow bucket.
+     */
+    Distribution(std::string name, std::string desc,
+                 std::uint64_t bucket_width = 0, std::size_t num_buckets = 0);
+
+    /** Record one sample. */
+    void sample(std::uint64_t value);
+
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t minValue() const { return min_; }
+    std::uint64_t maxValue() const { return max_; }
+    double mean() const;
+
+    /** Histogram access (empty if histogram disabled). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t bucketWidth() const { return bucketWidth_; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t bucketWidth_ = 0;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_STATS_DISTRIBUTION_HH

@@ -1,0 +1,105 @@
+#include "stats/registry.hh"
+
+#include <cassert>
+#include <iomanip>
+
+namespace cameo
+{
+
+void
+StatRegistry::add(Counter &counter)
+{
+    assert(findCounter(counter.name()) == nullptr &&
+           "duplicate counter name");
+    counters_.push_back(&counter);
+}
+
+void
+StatRegistry::add(Distribution &dist)
+{
+    assert(findDistribution(dist.name()) == nullptr &&
+           "duplicate distribution name");
+    dists_.push_back(&dist);
+}
+
+Counter &
+StatRegistry::makeCounter(std::string name, std::string desc)
+{
+    owned_.push_back(
+        std::make_unique<Counter>(std::move(name), std::move(desc)));
+    Counter &c = *owned_.back();
+    add(c);
+    return c;
+}
+
+const Counter *
+StatRegistry::findCounter(const std::string &name) const
+{
+    for (const Counter *c : counters_) {
+        if (c->name() == name)
+            return c;
+    }
+    return nullptr;
+}
+
+const Distribution *
+StatRegistry::findDistribution(const std::string &name) const
+{
+    for (const Distribution *d : dists_) {
+        if (d->name() == name)
+            return d;
+    }
+    return nullptr;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+    for (Distribution *d : dists_)
+        d->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const Counter *c : counters_) {
+        os << std::left << std::setw(44) << c->name() << " "
+           << std::right << std::setw(16) << c->value() << "  # "
+           << c->desc() << "\n";
+    }
+    for (const Distribution *d : dists_) {
+        os << std::left << std::setw(44) << d->name() << " count="
+           << d->count() << " mean=" << d->mean() << " min="
+           << (d->count() ? d->minValue() : 0) << " max=" << d->maxValue()
+           << "  # " << d->desc() << "\n";
+    }
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{\n";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    for (const Counter *c : counters_) {
+        sep();
+        os << "  \"" << c->name() << "\": " << c->value();
+    }
+    for (const Distribution *d : dists_) {
+        sep();
+        os << "  \"" << d->name() << "\": {\"count\": " << d->count()
+           << ", \"sum\": " << d->sum()
+           << ", \"min\": " << (d->count() ? d->minValue() : 0)
+           << ", \"max\": " << d->maxValue()
+           << ", \"mean\": " << d->mean() << "}";
+    }
+    os << "\n}\n";
+}
+
+} // namespace cameo

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * StatRegistry: a per-simulation collection of counters and
+ * distributions for uniform dumping and programmatic lookup.
+ *
+ * Components keep raw pointers into the registry; the registry owns
+ * nothing by default (components own their stats and register them) but
+ * can also create owned counters for ad-hoc use. There is deliberately
+ * no global registry: each System instance builds its own so that
+ * side-by-side configurations (the common case in benches) never share
+ * state.
+ */
+
+#ifndef CAMEO_STATS_REGISTRY_HH
+#define CAMEO_STATS_REGISTRY_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/counter.hh"
+#include "stats/distribution.hh"
+
+namespace cameo
+{
+
+/** Collection of statistics for one simulated system. */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** Register an externally owned counter. Name must be unique. */
+    void add(Counter &counter);
+
+    /** Register an externally owned distribution. Name must be unique. */
+    void add(Distribution &dist);
+
+    /** Create and own a counter; returned reference lives as long as
+     *  the registry. */
+    Counter &makeCounter(std::string name, std::string desc);
+
+    /** Look up a counter by exact name; nullptr if absent. */
+    const Counter *findCounter(const std::string &name) const;
+
+    /** Look up a distribution by exact name; nullptr if absent. */
+    const Distribution *findDistribution(const std::string &name) const;
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+    /** Dump all statistics, one per line, in registration order. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Dump all statistics as a JSON object: counters as integers,
+     * distributions as {count, sum, min, max, mean} objects. Stable
+     * key order (registration order) for diffability.
+     */
+    void dumpJson(std::ostream &os) const;
+
+    const std::vector<Counter *> &counters() const { return counters_; }
+    const std::vector<Distribution *> &distributions() const
+    {
+        return dists_;
+    }
+
+  private:
+    std::vector<Counter *> counters_;
+    std::vector<Distribution *> dists_;
+    std::vector<std::unique_ptr<Counter>> owned_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_STATS_REGISTRY_HH

@@ -1,0 +1,75 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace cameo
+{
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    assert(rows_.empty() && "header must be set before rows");
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == header_.size() && "row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::cell(double value, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << value;
+    return ss.str();
+}
+
+std::string
+TextTable::cell(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    os << "== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i == 0)
+                os << std::left << std::setw(static_cast<int>(widths[i]))
+                   << row[i];
+            else
+                os << "  " << std::right
+                   << std::setw(static_cast<int>(widths[i])) << row[i];
+        }
+        os << "\n";
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+    os.flush();
+}
+
+} // namespace cameo

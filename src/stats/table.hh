@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table formatting for bench output.
+ *
+ * Every bench binary regenerates one of the paper's figures or tables as
+ * a text table (rows = workloads or categories, columns = designs). This
+ * helper right-aligns numeric cells, left-aligns the first column, and
+ * prints a ruled header, so all benches share one look.
+ */
+
+#ifndef CAMEO_STATS_TABLE_HH
+#define CAMEO_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cameo
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** @param title Printed above the table. */
+    explicit TextTable(std::string title);
+
+    /** Set the header row. Must be called before addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; cell count must match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string cell(double value, int precision = 2);
+
+    /** Convenience: format an integer cell. */
+    static std::string cell(std::uint64_t value);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_STATS_TABLE_HH

@@ -1,0 +1,132 @@
+#include "system/cpu_core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cameo
+{
+
+CpuCore::CpuCore(std::uint32_t id, std::unique_ptr<AccessSource> source,
+                 std::uint64_t num_accesses, double cpi, std::uint32_t mlp,
+                 Tick l3_hit_stall, VirtualMemory &vm, Llc &llc,
+                 MemoryOrganization &org)
+    : id_(id), source_(std::move(source)), numAccesses_(num_accesses),
+      cpi_(cpi), mlp_(std::max(1u, mlp)), l3HitStall_(l3_hit_stall),
+      vm_(vm), llc_(llc), org_(org)
+{
+    assert(source_ != nullptr);
+    outstanding_.reserve(mlp_);
+}
+
+void
+CpuCore::tryIssuePendingMiss()
+{
+    assert(pendingMiss_);
+    if (outstanding_.size() >= mlp_) {
+        const auto oldest =
+            std::min_element(outstanding_.begin(), outstanding_.end());
+        if (*oldest > clock_) {
+            // Yield: wait for the oldest miss to return, then retry.
+            clock_ = *oldest;
+            return;
+        }
+        outstanding_.erase(oldest);
+    }
+    const PendingMiss miss = *pendingMiss_;
+    pendingMiss_.reset();
+    const Tick done = org_.access(clock_, miss.line, false, miss.pc, id_);
+    outstanding_.push_back(done);
+    if (miss.isLoad)
+        lastMissComplete_ = done;
+    // The core continues past the load (OoO overlap); backpressure
+    // comes from the window and from dependences.
+    clock_ += 1;
+}
+
+void
+CpuCore::finishAccess()
+{
+    assert(inflight_ && inflight_->stage == Stage::NeedFinish);
+    const Access acc = inflight_->acc;
+    const std::uint32_t frame = inflight_->frame;
+    inflight_.reset();
+
+    const LineAddr phys_line =
+        std::uint64_t{frame} * kLinesPerPage +
+        (lineOf(acc.vaddr) & (kLinesPerPage - 1));
+
+    const CacheAccessResult res = llc_.access(phys_line, acc.isWrite);
+    if (res.hit) {
+        // An OoO core hides most of the pipelined L3 hit latency;
+        // loads charge only the configured residue, stores retire
+        // through the store buffer without blocking.
+        if (!acc.isWrite)
+            clock_ += l3HitStall_;
+        return;
+    }
+
+    // Miss path: the request leaves after the L3 lookup.
+    clock_ += llc_.hitLatency();
+
+    // Evicted dirty line goes out through the writeback queue; it
+    // costs bandwidth but never blocks the core.
+    if (res.writeback)
+        org_.access(clock_, *res.writeback, true, acc.pc, id_);
+
+    pendingMiss_ = PendingMiss{phys_line, acc.pc, !acc.isWrite};
+    tryIssuePendingMiss();
+}
+
+void
+CpuCore::step()
+{
+    assert(!done());
+
+    if (pendingMiss_) {
+        tryIssuePendingMiss();
+        return;
+    }
+
+    if (!inflight_) {
+        const Access acc = source_->next();
+        ++processed_;
+        instructions_ += acc.gapInstructions;
+        // Compute phase between memory operations.
+        clock_ += static_cast<Tick>(
+            static_cast<double>(acc.gapInstructions) * cpi_);
+        inflight_ = InFlight{acc, 0, Stage::NeedTranslate};
+        // Dependent (pointer-chase) accesses cannot start before the
+        // producer's data arrives; yield so other cores fill the gap.
+        if (acc.dependsOnPrev && lastMissComplete_ > clock_) {
+            clock_ = lastMissComplete_;
+            return;
+        }
+    }
+
+    if (inflight_->stage == Stage::NeedTranslate) {
+        const Translation tr = vm_.translate(
+            clock_, id_, pageOf(inflight_->acc.vaddr),
+            inflight_->acc.isWrite);
+        inflight_->frame = tr.frame;
+        inflight_->stage = Stage::NeedFinish;
+        if (tr.majorFault) {
+            // Yield across the SSD stall: the clock jumps 100K cycles
+            // and other cores must run that interval first.
+            clock_ = tr.readyTick;
+            return;
+        }
+    }
+
+    finishAccess();
+}
+
+Tick
+CpuCore::finishTick() const
+{
+    Tick finish = clock_;
+    for (const Tick t : outstanding_)
+        finish = std::max(finish, t);
+    return std::max(finish, lastMissComplete_);
+}
+
+} // namespace cameo

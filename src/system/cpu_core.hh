@@ -1,0 +1,128 @@
+/**
+ * @file
+ * CpuCore: the trace-driven core model (one Agent per core).
+ *
+ * Table I's cores are 2-wide out-of-order at 3.2GHz. The model charges
+ * cyclesPerInstruction for the non-memory instruction gap of each trace
+ * record, services the access through VM -> shared L3 -> memory
+ * organization, and approximates out-of-order overlap with a bounded
+ * window of outstanding misses (per-workload MLP): independent misses
+ * overlap up to the window size, dependent (pointer-chasing) misses
+ * serialize, stores never block retirement, and page faults stall the
+ * core for the full SSD latency.
+ *
+ * Scheduling discipline: every memory-system call is issued at the
+ * core's *current* local clock, and any operation that would advance
+ * the clock past other cores (dependence wait, page-fault stall, full
+ * miss window) instead advances the clock and *yields* — step()
+ * returns and the kernel resumes the core once the other cores have
+ * caught up. This keeps request arrival times near-monotonic across
+ * cores, which the DRAM reservation model relies on; without it, a
+ * core returning from a 100K-cycle fault would reserve buses far in
+ * the future and stall everyone else behind phantom queueing.
+ */
+
+#ifndef CAMEO_SYSTEM_CPU_CORE_HH
+#define CAMEO_SYSTEM_CPU_CORE_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "orgs/memory_organization.hh"
+#include "sim/kernel.hh"
+#include "system/llc.hh"
+#include "trace/access_source.hh"
+#include "trace/generator.hh"
+#include "vm/virtual_memory.hh"
+
+namespace cameo
+{
+
+/** One simulated core consuming a synthetic trace. */
+class CpuCore : public Agent
+{
+  public:
+    /**
+     * @param id           Core id (also the VM address-space id).
+     * @param source       The core's access stream (synthetic
+     *                     generator or trace replay). Owned.
+     * @param num_accesses Trace length for this core.
+     * @param cpi          Cycles per non-memory instruction.
+     * @param mlp          Outstanding-miss window size.
+     * @param l3_hit_stall Core stall charged per L3 load hit.
+     * @param vm           Shared virtual memory.
+     * @param llc          Shared L3.
+     * @param org          Memory organization under test.
+     */
+    CpuCore(std::uint32_t id, std::unique_ptr<AccessSource> source,
+            std::uint64_t num_accesses, double cpi, std::uint32_t mlp,
+            Tick l3_hit_stall, VirtualMemory &vm, Llc &llc,
+            MemoryOrganization &org);
+
+    Tick nextReadyTick() const override { return clock_; }
+    bool done() const override
+    {
+        return processed_ >= numAccesses_ && !inflight_ && !pendingMiss_;
+    }
+    void step() override;
+
+    /** Completion time including in-flight misses. */
+    Tick finishTick() const;
+
+    std::uint64_t instructions() const { return instructions_; }
+    std::uint64_t accesses() const { return processed_; }
+
+  private:
+    /** Progress of the access currently being processed. */
+    enum class Stage
+    {
+        NeedTranslate, ///< Gap charged; next: VM translation.
+        NeedFinish,    ///< Translated; next: L3 and memory.
+    };
+
+    /** The access currently being processed (between yields). */
+    struct InFlight
+    {
+        Access acc;
+        std::uint32_t frame = 0;
+        Stage stage = Stage::NeedTranslate;
+    };
+
+    /** An L3 miss waiting for a free miss-window slot. */
+    struct PendingMiss
+    {
+        LineAddr line;
+        InstAddr pc;
+        bool isLoad;
+    };
+
+    /** Issue the pending miss if a window slot is free; else yield. */
+    void tryIssuePendingMiss();
+
+    /** L3 + memory for the in-flight access (after translation). */
+    void finishAccess();
+
+    std::uint32_t id_;
+    std::unique_ptr<AccessSource> source_;
+    std::uint64_t numAccesses_;
+    double cpi_;
+    std::uint32_t mlp_;
+    Tick l3HitStall_;
+
+    VirtualMemory &vm_;
+    Llc &llc_;
+    MemoryOrganization &org_;
+
+    Tick clock_ = 0;
+    Tick lastMissComplete_ = 0;
+    std::vector<Tick> outstanding_;
+    std::optional<InFlight> inflight_;
+    std::optional<PendingMiss> pendingMiss_;
+    std::uint64_t processed_ = 0;
+    std::uint64_t instructions_ = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_SYSTEM_CPU_CORE_HH

@@ -1,0 +1,139 @@
+#include "system/experiment.hh"
+
+#include <cassert>
+#include <fstream>
+
+#include "stats/table.hh"
+#include "util/math.hh"
+
+namespace cameo
+{
+
+double
+SpeedupRow::speedupOf(std::size_t i) const
+{
+    assert(i < runs.size());
+    return speedup(static_cast<double>(baseline.execTime),
+                   static_cast<double>(runs[i].execTime));
+}
+
+std::vector<SpeedupRow>
+runComparison(const SystemConfig &base_config,
+              std::span<const DesignPoint> points,
+              std::span<const WorkloadProfile> workloads,
+              std::ostream *progress)
+{
+    std::vector<SpeedupRow> rows;
+    rows.reserve(workloads.size());
+    for (const WorkloadProfile &wl : workloads) {
+        SpeedupRow row;
+        row.workload = wl;
+        if (progress)
+            *progress << "  [" << wl.name << "] baseline..." << std::flush;
+        row.baseline = runWorkload(base_config, OrgKind::Baseline, wl);
+        for (const DesignPoint &point : points) {
+            if (progress)
+                *progress << " " << point.label << "..." << std::flush;
+            row.runs.push_back(runWorkload(point.config, point.kind, wl));
+        }
+        if (progress)
+            *progress << " done\n" << std::flush;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+double
+gmeanSpeedup(std::span<const SpeedupRow> rows, std::size_t i)
+{
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const SpeedupRow &row : rows)
+        values.push_back(row.speedupOf(i));
+    return geometricMean(values);
+}
+
+double
+gmeanSpeedup(std::span<const SpeedupRow> rows, std::size_t i,
+             WorkloadCategory category)
+{
+    std::vector<double> values;
+    for (const SpeedupRow &row : rows) {
+        if (row.workload.category == category)
+            values.push_back(row.speedupOf(i));
+    }
+    return geometricMean(values);
+}
+
+void
+printSpeedupTable(const std::string &title,
+                  std::span<const DesignPoint> points,
+                  std::span<const SpeedupRow> rows, std::ostream &os)
+{
+    TextTable table(title);
+    std::vector<std::string> header{"Workload", "Category"};
+    for (const DesignPoint &point : points)
+        header.push_back(point.label);
+    table.setHeader(std::move(header));
+
+    for (const SpeedupRow &row : rows) {
+        std::vector<std::string> cells{row.workload.name,
+                                       categoryName(row.workload.category)};
+        for (std::size_t i = 0; i < points.size(); ++i)
+            cells.push_back(TextTable::cell(row.speedupOf(i)));
+        table.addRow(std::move(cells));
+    }
+
+    const auto add_gmean_row = [&](const std::string &name, auto getter) {
+        std::vector<std::string> cells{name, ""};
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const double g = getter(i);
+            cells.push_back(g > 0.0 ? TextTable::cell(g) : "n/a");
+        }
+        table.addRow(std::move(cells));
+    };
+    add_gmean_row("Gmean-Capacity", [&](std::size_t i) {
+        return gmeanSpeedup(rows, i, WorkloadCategory::CapacityLimited);
+    });
+    add_gmean_row("Gmean-Latency", [&](std::size_t i) {
+        return gmeanSpeedup(rows, i, WorkloadCategory::LatencyLimited);
+    });
+    add_gmean_row("Gmean-ALL",
+                  [&](std::size_t i) { return gmeanSpeedup(rows, i); });
+
+    table.print(os);
+}
+
+bool
+writeSpeedupCsv(std::span<const DesignPoint> points,
+                std::span<const SpeedupRow> rows, const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+
+    out << "workload,category,baseline_exec";
+    for (const DesignPoint &p : points) {
+        out << "," << p.label << "_exec," << p.label << "_speedup,"
+            << p.label << "_stackedBytes," << p.label << "_offchipBytes,"
+            << p.label << "_storageBytes";
+    }
+    out << "\n";
+
+    for (const SpeedupRow &row : rows) {
+        out << row.workload.name << ","
+            << categoryName(row.workload.category) << ","
+            << row.baseline.execTime;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const RunResult &r = row.runs[i];
+            out << "," << r.execTime << "," << row.speedupOf(i) << ","
+                << r.stackedBytes << "," << r.offchipBytes << ","
+                << r.storageBytes;
+        }
+        out << "\n";
+    }
+    out.close();
+    return !out.fail();
+}
+
+} // namespace cameo

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries: run a set of design
+ * points against a set of workloads (plus the baseline), compute
+ * speedups, and print paper-style tables with per-category and overall
+ * geometric means.
+ */
+
+#ifndef CAMEO_SYSTEM_EXPERIMENT_HH
+#define CAMEO_SYSTEM_EXPERIMENT_HH
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace cameo
+{
+
+/** One column of a comparison: an organization plus its config. */
+struct DesignPoint
+{
+    std::string label;
+    OrgKind kind = OrgKind::Cameo;
+    SystemConfig config;
+};
+
+/** One workload's results across all design points. */
+struct SpeedupRow
+{
+    WorkloadProfile workload;
+    RunResult baseline;
+    std::vector<RunResult> runs; ///< Parallel to the design points.
+
+    /** Speedup of design point @p i versus the baseline. */
+    double speedupOf(std::size_t i) const;
+};
+
+/**
+ * Run the baseline plus every design point over every workload.
+ *
+ * @param base_config Config used for the shared baseline runs.
+ * @param points      Design points (columns).
+ * @param workloads   Workloads (rows).
+ * @param progress    Optional stream for per-run progress lines.
+ */
+std::vector<SpeedupRow>
+runComparison(const SystemConfig &base_config,
+              std::span<const DesignPoint> points,
+              std::span<const WorkloadProfile> workloads,
+              std::ostream *progress = nullptr);
+
+/**
+ * Print a Figure 13-style speedup table: one row per workload, then
+ * Gmean rows for each category and overall.
+ */
+void printSpeedupTable(const std::string &title,
+                       std::span<const DesignPoint> points,
+                       std::span<const SpeedupRow> rows, std::ostream &os);
+
+/** Geometric-mean speedup of design point @p i over @p rows,
+ *  optionally restricted to one category. */
+double gmeanSpeedup(std::span<const SpeedupRow> rows, std::size_t i);
+double gmeanSpeedup(std::span<const SpeedupRow> rows, std::size_t i,
+                    WorkloadCategory category);
+
+/**
+ * Write a comparison as CSV (one row per workload: name, category,
+ * baseline exec time, then per-design-point exec time, speedup, and
+ * the module byte counters). Returns false on I/O failure.
+ */
+bool writeSpeedupCsv(std::span<const DesignPoint> points,
+                     std::span<const SpeedupRow> rows,
+                     const std::string &path);
+
+} // namespace cameo
+
+#endif // CAMEO_SYSTEM_EXPERIMENT_HH

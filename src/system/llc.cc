@@ -1,0 +1,21 @@
+#include "system/llc.hh"
+
+namespace cameo
+{
+
+Llc::Llc(const SystemConfig &config)
+    : cache_("l3", config.l3Bytes, config.l3Ways, config.l3HitLatency,
+             ReplPolicy::Lru, config.seed ^ 0x13)
+{
+}
+
+double
+Llc::missRate() const
+{
+    const std::uint64_t total = hits() + misses();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(misses()) / static_cast<double>(total);
+}
+
+} // namespace cameo

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Llc: the shared last-level cache built from a SystemConfig.
+ *
+ * A thin wrapper over SetAssocCache that owns the Table I parameters
+ * (32MB, 16-way, 24 cycles at paper scale) and tracks the miss rate
+ * statistics the workload-calibration bench (Table II) reports.
+ */
+
+#ifndef CAMEO_SYSTEM_LLC_HH
+#define CAMEO_SYSTEM_LLC_HH
+
+#include <memory>
+
+#include "cache/set_assoc_cache.hh"
+#include "system/config.hh"
+
+namespace cameo
+{
+
+/** The shared L3 of one simulated system. */
+class Llc
+{
+  public:
+    explicit Llc(const SystemConfig &config);
+
+    /** Access on behalf of a core; see SetAssocCache::access. */
+    CacheAccessResult access(LineAddr line, bool is_write)
+    {
+        return cache_.access(line, is_write);
+    }
+
+    Tick hitLatency() const { return cache_.hitLatency(); }
+
+    std::uint64_t hits() const { return cache_.hits().value(); }
+    std::uint64_t misses() const { return cache_.misses().value(); }
+
+    double missRate() const;
+
+    void registerStats(StatRegistry &registry)
+    {
+        cache_.registerStats(registry);
+    }
+
+    SetAssocCache &cache() { return cache_; }
+
+  private:
+    SetAssocCache cache_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_SYSTEM_LLC_HH

@@ -1,0 +1,168 @@
+#include "system/system.hh"
+
+#include <cassert>
+
+#include "sim/kernel.hh"
+#include "util/bitops.hh"
+
+namespace cameo
+{
+
+namespace
+{
+
+std::uint64_t
+coreSeed(std::uint64_t base, std::uint32_t core)
+{
+    return mix64(base + 0x517cc1b727220a95ULL * (core + 1));
+}
+
+} // namespace
+
+System::System(const SystemConfig &config, OrgKind kind,
+               const WorkloadProfile &profile)
+    : System(config, kind, std::vector<WorkloadProfile>{profile})
+{
+}
+
+System::System(const SystemConfig &config, OrgKind kind,
+               const std::vector<WorkloadProfile> &profiles)
+    : config_(config), kind_(kind), profiles_(profiles),
+      org_(makeOrganization(kind, config.orgConfig()))
+{
+    assert(org_ != nullptr);
+    assert(!profiles_.empty());
+
+    // Each core's access stream: a synthetic generator by default, or
+    // whatever the configured factory provides (trace replay).
+    const auto make_source =
+        [&](std::uint32_t c) -> std::unique_ptr<AccessSource> {
+        const WorkloadProfile &p = profileFor(c);
+        const GeneratorParams gp = config_.generatorParamsFor(p);
+        if (config_.sourceFactory) {
+            return config_.sourceFactory(c, p, gp,
+                                         coreSeed(config_.seed, c));
+        }
+        return std::make_unique<SyntheticGenerator>(
+            p, gp, coreSeed(config_.seed, c));
+    };
+
+    // TLM-Oracle: replay the deterministic sources standalone to build
+    // the oracular page-heat profile before any simulation.
+    if (kind_ == OrgKind::TlmOracle) {
+        PageHeatMap heat;
+        for (std::uint32_t c = 0; c < config_.numCores; ++c) {
+            const auto source = make_source(c);
+            const auto core_heat =
+                profilePageHeat(*source, config_.accessesPerCore);
+            for (const auto &[vpage, count] : core_heat)
+                heat[pageHeatKey(c, vpage)] += count;
+        }
+        org_->setPageHeat(std::move(heat));
+    }
+
+    vm_ = std::make_unique<VirtualMemory>(org_->visibleBytes(),
+                                          config_.pageFaultLatency,
+                                          config_.seed ^ 0xF00D);
+    vm_->setMapHook([this](std::uint32_t frame, std::uint32_t core,
+                           PageAddr vpage) {
+        org_->onPageMapped(frame, core, vpage);
+    });
+
+    llc_ = std::make_unique<Llc>(config_);
+
+    cores_.reserve(config_.numCores);
+    for (std::uint32_t c = 0; c < config_.numCores; ++c) {
+        const std::uint32_t mlp =
+            std::min(config_.maxMlp, profileFor(c).mlp);
+        cores_.push_back(std::make_unique<CpuCore>(
+            c, make_source(c), config_.accessesPerCore,
+            config_.cyclesPerInstruction, mlp, config_.l3HitStall, *vm_,
+            *llc_, *org_));
+    }
+
+    org_->registerStats(registry_);
+    vm_->registerStats(registry_);
+    llc_->registerStats(registry_);
+}
+
+RunResult
+System::run()
+{
+    assert(!ran_ && "System::run may be called once");
+    ran_ = true;
+
+    SimKernel kernel;
+    for (auto &core : cores_)
+        kernel.addAgent(core.get());
+    kernel.run();
+
+    RunResult r;
+    r.orgName = org_->name();
+    if (profiles_.size() == 1) {
+        r.workload = profiles_[0].name;
+        r.category = profiles_[0].category;
+    } else {
+        r.workload = "mix(";
+        for (std::size_t i = 0; i < profiles_.size(); ++i)
+            r.workload += (i ? "+" : "") + profiles_[i].name;
+        r.workload += ")";
+        // A mix is capacity-limited if any member is.
+        r.category = WorkloadCategory::LatencyLimited;
+        for (const auto &p : profiles_) {
+            if (p.category == WorkloadCategory::CapacityLimited)
+                r.category = WorkloadCategory::CapacityLimited;
+        }
+    }
+
+    for (const auto &core : cores_) {
+        r.execTime = std::max(r.execTime, core->finishTick());
+        r.instructions += core->instructions();
+        r.accesses += core->accesses();
+    }
+
+    r.l3Hits = llc_->hits();
+    r.l3Misses = llc_->misses();
+
+    if (const DramModule *stacked = org_->stackedModule())
+        r.stackedBytes = stacked->bytesTransferred();
+    r.offchipBytes = org_->offchipModule().bytesTransferred();
+    r.storageBytes = vm_->ssd().bytesTransferred();
+    r.majorFaults = vm_->majorFaults().value();
+    r.minorFaults = vm_->minorFaults().value();
+
+    if (const CameoController *ctrl = org_->cameo()) {
+        r.servicedStacked = ctrl->servicedStacked().value();
+        r.servicedOffchip = ctrl->servicedOffchip().value();
+        r.swaps = ctrl->swaps().value();
+        for (int c = 0; c < 5; ++c) {
+            r.llpCases[c] = ctrl->predictor().caseCount(
+                static_cast<PredictionCase>(c));
+        }
+        r.llpAccuracy = ctrl->predictor().accuracy();
+    }
+
+    if (const Counter *migrations =
+            registry_.findCounter("tlm.pageMigrations")) {
+        r.pageMigrations = migrations->value();
+    }
+    return r;
+}
+
+RunResult
+runWorkload(const SystemConfig &config, OrgKind kind,
+            const WorkloadProfile &profile)
+{
+    System system(config, kind, profile);
+    return system.run();
+}
+
+RunResult
+runMix(const SystemConfig &config, OrgKind kind,
+       const std::vector<WorkloadProfile> &profiles)
+{
+    System system(config, kind, profiles);
+    return system.run();
+}
+
+} // namespace cameo

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * System: one complete simulated machine — cores + shared L3 + virtual
+ * memory + one memory organization — and the RunResult it produces.
+ */
+
+#ifndef CAMEO_SYSTEM_SYSTEM_HH
+#define CAMEO_SYSTEM_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "orgs/memory_organization.hh"
+#include "stats/registry.hh"
+#include "system/config.hh"
+#include "system/cpu_core.hh"
+#include "system/llc.hh"
+#include "trace/workloads.hh"
+#include "vm/virtual_memory.hh"
+
+namespace cameo
+{
+
+/** Everything a bench or test needs from one simulation run. */
+struct RunResult
+{
+    std::string orgName;
+    std::string workload;
+    WorkloadCategory category = WorkloadCategory::LatencyLimited;
+
+    /** Execution time: completion of the slowest core (rate mode). */
+    Tick execTime = 0;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t l3Hits = 0;
+    std::uint64_t l3Misses = 0;
+
+    /** Bus traffic per module (Table IV's raw numbers). */
+    std::uint64_t stackedBytes = 0;
+    std::uint64_t offchipBytes = 0;
+    std::uint64_t storageBytes = 0;
+
+    std::uint64_t majorFaults = 0;
+    std::uint64_t minorFaults = 0;
+
+    /** CAMEO-specific (zero for other organizations). */
+    std::uint64_t servicedStacked = 0;
+    std::uint64_t servicedOffchip = 0;
+    std::uint64_t swaps = 0;
+    std::array<std::uint64_t, 5> llpCases{};
+    double llpAccuracy = 0.0;
+
+    /** TLM-specific. */
+    std::uint64_t pageMigrations = 0;
+
+    /** Measured L3 misses per thousand instructions. */
+    double mpki() const
+    {
+        if (instructions == 0)
+            return 0.0;
+        return 1000.0 * static_cast<double>(l3Misses) /
+               static_cast<double>(instructions);
+    }
+
+    /** Fraction of CAMEO accesses serviced by stacked memory. */
+    double stackedServiceFraction() const
+    {
+        const std::uint64_t total = servicedStacked + servicedOffchip;
+        if (total == 0)
+            return 0.0;
+        return static_cast<double>(servicedStacked) /
+               static_cast<double>(total);
+    }
+};
+
+/** A complete simulated machine for one (organization, workload) pair. */
+class System
+{
+  public:
+    /**
+     * Builds the organization, sizes virtual memory by its OS-visible
+     * capacity, and instantiates rate-mode cores (every core runs
+     * @p profile with a distinct seed, the paper's methodology). For
+     * TLM-Oracle the constructor also runs the profiling pass and
+     * injects page heat.
+     */
+    System(const SystemConfig &config, OrgKind kind,
+           const WorkloadProfile &profile);
+
+    /**
+     * Multi-programmed variant: core i runs profiles[i % size]. This
+     * extends the paper's rate-mode methodology to heterogeneous mixes
+     * (e.g. a capacity hog next to latency-sensitive neighbours).
+     */
+    System(const SystemConfig &config, OrgKind kind,
+           const std::vector<WorkloadProfile> &profiles);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run to completion and collect results. Call once. */
+    RunResult run();
+
+    MemoryOrganization &org() { return *org_; }
+    VirtualMemory &vm() { return *vm_; }
+    Llc &llc() { return *llc_; }
+    StatRegistry &stats() { return registry_; }
+
+  private:
+    /** Profile core @p c runs. */
+    const WorkloadProfile &profileFor(std::uint32_t c) const
+    {
+        return profiles_[c % profiles_.size()];
+    }
+
+    SystemConfig config_;
+    OrgKind kind_;
+    std::vector<WorkloadProfile> profiles_;
+
+    std::unique_ptr<MemoryOrganization> org_;
+    std::unique_ptr<VirtualMemory> vm_;
+    std::unique_ptr<Llc> llc_;
+    std::vector<std::unique_ptr<CpuCore>> cores_;
+    StatRegistry registry_;
+    bool ran_ = false;
+};
+
+/** Convenience: build a System and run it. */
+RunResult runWorkload(const SystemConfig &config, OrgKind kind,
+                      const WorkloadProfile &profile);
+
+/** Convenience: build a multi-programmed System and run it. */
+RunResult runMix(const SystemConfig &config, OrgKind kind,
+                 const std::vector<WorkloadProfile> &profiles);
+
+} // namespace cameo
+
+#endif // CAMEO_SYSTEM_SYSTEM_HH

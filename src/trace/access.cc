@@ -1,0 +1,3 @@
+#include "trace/access.hh"
+
+// Access is a plain struct; translation unit kept for symmetry.

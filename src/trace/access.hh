@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The unit of work consumed by a simulated core: one L3-level memory
+ * access (i.e. an L2 miss reaching the shared L3), together with the
+ * instruction gap preceding it and dependence information.
+ */
+
+#ifndef CAMEO_TRACE_ACCESS_HH
+#define CAMEO_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** One memory access of a synthetic trace. */
+struct Access
+{
+    /** Instruction address of the access (feeds PC-indexed predictors). */
+    InstAddr pc = 0;
+
+    /** Virtual byte address. */
+    Addr vaddr = 0;
+
+    /** Store (true) or load (false). */
+    bool isWrite = false;
+
+    /**
+     * True when this access depends on the previous one (pointer
+     * chasing): the core may not issue it before the previous access
+     * completes, capping memory-level parallelism at 1 for such runs.
+     */
+    bool dependsOnPrev = false;
+
+    /**
+     * Non-memory instructions executed since the previous access.
+     * Together with the core width this sets the compute time between
+     * memory operations, and hence the workload's MPKI.
+     */
+    std::uint32_t gapInstructions = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_TRACE_ACCESS_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * AccessSource: the interface between a core and whatever produces its
+ * access stream.
+ *
+ * The bundled SyntheticGenerator is one implementation; TraceReader
+ * (trace_file.hh) replays recorded traces, which is how users with
+ * real application traces (Pin, DynamoRIO, gem5) drive this simulator.
+ */
+
+#ifndef CAMEO_TRACE_ACCESS_SOURCE_HH
+#define CAMEO_TRACE_ACCESS_SOURCE_HH
+
+#include "trace/access.hh"
+
+namespace cameo
+{
+
+/** Produces one core's access stream. */
+class AccessSource
+{
+  public:
+    virtual ~AccessSource() = default;
+
+    /**
+     * Produce the next access. Sources never exhaust: finite sources
+     * (trace files) wrap around, which matches the paper's rate-mode
+     * methodology of running fixed-length representative slices.
+     */
+    virtual Access next() = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_TRACE_ACCESS_SOURCE_HH

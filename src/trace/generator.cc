@@ -1,0 +1,267 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/bitops.hh"
+
+namespace cameo
+{
+
+namespace
+{
+
+// PC pool base addresses per mode; spaced so pools never collide.
+constexpr InstAddr kStreamPcBase = 0x400000;
+constexpr InstAddr kPointerPcBase = 0x500000;
+constexpr InstAddr kHotPcBase = 0x600000;
+
+// Burst length scales (accesses per burst before re-rolling the mode).
+constexpr std::uint32_t kPointerBurst = 16;
+constexpr std::uint32_t kHotBurst = 24;
+constexpr std::uint32_t kStreamPages = 4;
+
+} // namespace
+
+SyntheticGenerator::SyntheticGenerator(const WorkloadProfile &profile,
+                                       const GeneratorParams &params,
+                                       std::uint64_t seed)
+    : profile_(profile), params_(params),
+      rng_(seed ^ mix64(std::hash<std::string>{}(profile.name))),
+      numPages_(std::max<std::uint64_t>(1,
+                                        params.footprintBytes / kPageBytes)),
+      hotPages_(std::max<std::uint64_t>(1, params.hotSetBytes / kPageBytes)),
+      zipf_(numPages_, profile.zipfExponent)
+{
+    assert(profile_.linesPerPage >= 1 && profile_.linesPerPage <= 64);
+    assert(profile_.numStreams >= 1);
+    assert(profile_.streamWindowFrac > 0.0 &&
+           profile_.streamWindowFrac <= 1.0);
+
+    windowPages_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(profile_.streamWindowFrac *
+                                      static_cast<double>(numPages_)));
+
+    // Affine permutation for Zipf-rank scattering: find a multiplier
+    // coprime to the footprint size.
+    scatterMult_ = 0x9E3779B9 | 1; // large odd constant
+    while (std::gcd(scatterMult_, numPages_) != 1)
+        scatterMult_ += 2;
+    scatterOffset_ = rng_.next(numPages_);
+
+    // Burst-selection weights: access share / expected burst length.
+    const double stream_len =
+        (kStreamPages / 2 + kStreamPages * 2) / 2.0 *
+        std::max(1u, profile_.linesPerPage);
+    const double pointer_len = (kPointerBurst / 2 + kPointerBurst * 2) / 2.0;
+    const double hot_len = (kHotBurst / 2 + kHotBurst * 2) / 2.0;
+    streamBurstProb_ = profile_.streamFrac / stream_len;
+    pointerBurstProb_ = profile_.pointerFrac / pointer_len;
+    hotBurstProb_ = profile_.hotFrac / hot_len;
+    streams_.resize(profile_.numStreams);
+    for (std::uint32_t s = 0; s < profile_.numStreams; ++s) {
+        Stream &stream = streams_[s];
+        // Scatter stream regions across cores and across streams.
+        stream.windowBase = rng_.next(numPages_);
+        stream.cursor = 0;
+        stream.lapPages = windowPages_;
+        stream.pc = kStreamPcBase + 4 * (s % profile_.streamPcs);
+    }
+    startBurst();
+}
+
+void
+SyntheticGenerator::startBurst()
+{
+    // Mode fractions in the profile are *access* shares. Bursts have
+    // very different lengths (a stream burst covers several pages), so
+    // burst-selection probabilities are the access shares divided by
+    // the expected burst length of each mode, renormalized.
+    const double roll = rng_.nextDouble() * (streamBurstProb_ +
+                                             pointerBurstProb_ +
+                                             hotBurstProb_);
+    firstInBurst_ = true;
+    if (roll < streamBurstProb_) {
+        mode_ = Mode::Stream;
+        activeStream_ = static_cast<std::uint32_t>(
+            rng_.next(streams_.size()));
+        const std::uint32_t pages = static_cast<std::uint32_t>(
+            rng_.range(kStreamPages / 2, kStreamPages * 2));
+        burstLeft_ = std::max(1u, pages * profile_.linesPerPage);
+    } else if (roll < streamBurstProb_ + pointerBurstProb_) {
+        mode_ = Mode::Pointer;
+        burstLeft_ = static_cast<std::uint32_t>(
+            rng_.range(kPointerBurst / 2, kPointerBurst * 2));
+        pointerPage_ = scatterPage(zipf_(rng_));
+        pointerPc_ = kPointerPcBase + 4 * rng_.next(profile_.pointerPcs);
+    } else {
+        mode_ = Mode::Hot;
+        burstLeft_ = static_cast<std::uint32_t>(
+            rng_.range(kHotBurst / 2, kHotBurst * 2));
+    }
+}
+
+PageAddr
+SyntheticGenerator::scatterPage(std::uint64_t rank) const
+{
+    // Scatter Zipf ranks over the virtual space with an affine
+    // permutation (multiplier coprime to numPages_), so popular pages
+    // are spread out yet every footprint page remains reachable — a
+    // hash would leave ~1/e of the pages uncovered and silently shrink
+    // the footprint.
+    return (rank * scatterMult_ + scatterOffset_) % numPages_;
+}
+
+Addr
+SyntheticGenerator::composeAddr(PageAddr page, std::uint32_t line_in_page,
+                                Addr offset) const
+{
+    assert(line_in_page < kLinesPerPage);
+    return pageToAddr(page) + std::uint64_t{line_in_page} * kLineBytes +
+           (offset % kLineBytes);
+}
+
+Addr
+SyntheticGenerator::streamAddr()
+{
+    Stream &s = streams_[activeStream_];
+    const std::uint32_t spacing = 64 / std::max(1u, profile_.linesPerPage);
+
+    // Near-past reuse: stencil/solver codes re-touch pages they just
+    // produced. These re-touches are spread too widely for the L3 but
+    // sit comfortably in stacked memory.
+    lastStreamWasReuse_ = false;
+    if (s.recentCount > 0 && rng_.chance(profile_.nearReuseFrac)) {
+        lastStreamWasReuse_ = true;
+        const PageAddr page =
+            s.recent[rng_.next(std::min(s.recentCount,
+                                        Stream::kRecentPages))];
+        const auto slot = static_cast<std::uint32_t>(
+            rng_.next(profile_.linesPerPage));
+        const std::uint32_t line_idx =
+            std::min<std::uint32_t>(63, slot * std::max(1u, spacing));
+        return composeAddr(page, line_idx, 0);
+    }
+
+    // Touch linesPerPage evenly spaced lines, then advance the cursor
+    // within the current lap of the working-set window.
+    const std::uint32_t line_idx =
+        std::min<std::uint32_t>(63, s.lineIdx * std::max(1u, spacing));
+    const PageAddr page = (s.windowBase + s.cursor) % numPages_;
+    const Addr addr = composeAddr(page, line_idx, 0);
+    if (s.lineIdx == 0) {
+        // Entering a new page: remember it for near-past reuse.
+        s.recent[s.recentHead] = page;
+        s.recentHead = (s.recentHead + 1) % Stream::kRecentPages;
+        s.recentCount = std::min(s.recentCount + 1, Stream::kRecentPages);
+    }
+    if (++s.lineIdx >= profile_.linesPerPage) {
+        s.lineIdx = 0;
+        if (++s.cursor >= s.lapPages) {
+            // Lap complete. Real blocked code revisits inner blocks
+            // far more often than the full array: choose the next lap
+            // to cover the whole window, a quarter, or a sixteenth,
+            // giving the access stream the tiered (heavy-tailed) reuse
+            // intensity that caches exploit. The window itself drifts
+            // across the footprint only on full laps.
+            s.cursor = 0;
+            const double roll = rng_.nextDouble();
+            if (roll < 0.40) {
+                s.lapPages = windowPages_;
+                const std::uint64_t drift =
+                    std::max<std::uint64_t>(1, windowPages_ / 16);
+                s.windowBase = (s.windowBase + drift) % numPages_;
+            } else if (roll < 0.75) {
+                s.lapPages = std::max<std::uint64_t>(1, windowPages_ / 4);
+            } else {
+                s.lapPages = std::max<std::uint64_t>(1, windowPages_ / 16);
+            }
+        }
+    }
+    return addr;
+}
+
+Addr
+SyntheticGenerator::pointerAddr()
+{
+    // Occasionally hop to another page mid-burst (linked structures
+    // span pages); otherwise chase within the current page.
+    if (rng_.chance(0.4))
+        pointerPage_ = scatterPage(zipf_(rng_));
+    const std::uint32_t spacing = 64 / std::max(1u, profile_.linesPerPage);
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(rng_.next(profile_.linesPerPage));
+    const std::uint32_t line_idx =
+        std::min<std::uint32_t>(63, slot * std::max(1u, spacing));
+    return composeAddr(pointerPage_, line_idx, rng_.next(kLineBytes));
+}
+
+Addr
+SyntheticGenerator::hotAddr()
+{
+    // The hot region sits after the footprint pages.
+    const PageAddr page = numPages_ + rng_.next(hotPages_);
+    const auto line_idx =
+        static_cast<std::uint32_t>(rng_.next(kLinesPerPage));
+    return composeAddr(page, line_idx, 0);
+}
+
+Access
+SyntheticGenerator::next()
+{
+    if (burstLeft_ == 0)
+        startBurst();
+    --burstLeft_;
+
+    Access acc;
+    acc.gapInstructions = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        rng_.geometric(params_.gapMeanInstructions), 1u << 20));
+    acc.isWrite = rng_.chance(profile_.writeFrac);
+
+    switch (mode_) {
+      case Mode::Stream:
+        acc.vaddr = streamAddr();
+        // One instruction walks one array (the PC <-> region binding
+        // the LLP exploits); near-past re-touches come from a separate
+        // static load in the loop body, hence a distinct PC.
+        acc.pc = streams_[activeStream_].pc +
+                 (lastStreamWasReuse_ ? 2 : 0);
+        acc.dependsOnPrev = false;
+        break;
+      case Mode::Pointer:
+        acc.vaddr = pointerAddr();
+        acc.pc = pointerPc_;
+        acc.dependsOnPrev =
+            !firstInBurst_ && rng_.chance(profile_.dependentFrac);
+        break;
+      case Mode::Hot:
+      default:
+        acc.vaddr = hotAddr();
+        acc.pc = kHotPcBase + 4 * rng_.next(profile_.hotPcs);
+        acc.dependsOnPrev = false;
+        break;
+    }
+    firstInBurst_ = false;
+    return acc;
+}
+
+std::unordered_map<PageAddr, std::uint64_t>
+profilePageHeat(const WorkloadProfile &profile,
+                const GeneratorParams &params, std::uint64_t seed,
+                std::uint64_t num_accesses)
+{
+    SyntheticGenerator gen(profile, params, seed);
+    return profilePageHeat(gen, num_accesses);
+}
+
+std::unordered_map<PageAddr, std::uint64_t>
+profilePageHeat(AccessSource &source, std::uint64_t num_accesses)
+{
+    std::unordered_map<PageAddr, std::uint64_t> heat;
+    for (std::uint64_t i = 0; i < num_accesses; ++i)
+        ++heat[pageOf(source.next().vaddr)];
+    return heat;
+}
+
+} // namespace cameo

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * SyntheticGenerator: produces one core's L3-level access stream from a
+ * WorkloadProfile.
+ *
+ * The generator is a small state machine over three access modes:
+ *
+ *  - STREAM: sequential page walks with a persistent cursor that wraps
+ *    around the footprint; within each page it touches
+ *    profile.linesPerPage evenly spaced lines. This produces the
+ *    steady capacity pressure of lbm/bwaves-style codes.
+ *  - POINTER: dependent accesses to Zipf-popular pages (scattered over
+ *    the address space), modelling mcf/omnetpp-style chasing; each
+ *    access after the first in a burst depends on its predecessor.
+ *  - HOT: accesses within a small per-core hot region that fits in the
+ *    L3, soaking up the benchmark's cache-friendly fraction.
+ *
+ * The generator is deterministic given (profile, params, seed) — the
+ * TLM-Oracle organization re-runs it to obtain oracular page heat.
+ */
+
+#ifndef CAMEO_TRACE_GENERATOR_HH
+#define CAMEO_TRACE_GENERATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/access.hh"
+#include "trace/access_source.hh"
+#include "trace/workloads.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Scaled, per-core knobs derived from the system configuration. */
+struct GeneratorParams
+{
+    /** Per-core virtual footprint in bytes. */
+    std::uint64_t footprintBytes = 1 << 20;
+
+    /** Per-core hot-region size in bytes (should fit the L3 share). */
+    std::uint64_t hotSetBytes = 8 << 10;
+
+    /** Mean non-memory instructions between accesses (sets MPKI). */
+    double gapMeanInstructions = 50.0;
+};
+
+/** Per-core synthetic access stream. */
+class SyntheticGenerator : public AccessSource
+{
+  public:
+    SyntheticGenerator(const WorkloadProfile &profile,
+                       const GeneratorParams &params, std::uint64_t seed);
+
+    /** Produce the next access. Never exhausts. */
+    Access next() override;
+
+    const WorkloadProfile &profile() const { return profile_; }
+    std::uint64_t numPages() const { return numPages_; }
+    std::uint64_t hotPages() const { return hotPages_; }
+
+  private:
+    enum class Mode
+    {
+        Stream,
+        Pointer,
+        Hot,
+    };
+
+    void startBurst();
+    Addr streamAddr();
+    Addr pointerAddr();
+    Addr hotAddr();
+
+    /** Scatter a Zipf rank over the footprint's pages. */
+    PageAddr scatterPage(std::uint64_t rank) const;
+
+    /** Byte address of line index @p within_page in @p page. */
+    Addr composeAddr(PageAddr page, std::uint32_t line_in_page,
+                     Addr offset) const;
+
+    WorkloadProfile profile_;
+    GeneratorParams params_;
+    Rng rng_;
+
+    std::uint64_t numPages_;  ///< Footprint pages (excludes hot region).
+    std::uint64_t hotPages_;  ///< Hot-region pages, appended after.
+    ZipfSampler zipf_;
+    std::uint64_t scatterMult_ = 1;   ///< Coprime rank-scatter multiplier.
+    std::uint64_t scatterOffset_ = 0; ///< Rank-scatter offset.
+
+    Mode mode_ = Mode::Stream;
+    std::uint32_t burstLeft_ = 0;
+    bool firstInBurst_ = true;
+
+    /** Burst-selection weights (access share / expected burst len). */
+    double streamBurstProb_ = 1.0;
+    double pointerBurstProb_ = 0.0;
+    double hotBurstProb_ = 0.0;
+
+    /**
+     * One logical array being streamed: a drifting working-set window
+     * plus a cursor and the (single) instruction address of the load
+     * that walks it. The PC <-> region binding is what gives the Line
+     * Location Predictor its last-time accuracy.
+     */
+    struct Stream
+    {
+        /** Ring of recently visited pages for near-past reuse. Kept
+         *  short so re-touched pages are still stacked-resident. */
+        static constexpr std::uint32_t kRecentPages = 24;
+
+        std::uint64_t windowBase = 0; ///< First page of the window.
+        std::uint64_t cursor = 0;     ///< Page offset within window.
+        std::uint64_t lapPages = 1;   ///< Length of the current lap.
+        std::uint32_t lineIdx = 0;    ///< Next line index in the page.
+        InstAddr pc = 0;
+        std::array<PageAddr, kRecentPages> recent{};
+        std::uint32_t recentCount = 0;
+        std::uint32_t recentHead = 0;
+    };
+
+    std::vector<Stream> streams_;
+    std::uint64_t windowPages_ = 1; ///< Window size in pages.
+    std::uint32_t activeStream_ = 0;
+
+    /** Whether the last streamAddr() was a near-past re-touch (those
+     *  come from a different static instruction than the advancing
+     *  load, so they get their own PC). */
+    bool lastStreamWasReuse_ = false;
+
+    // Pointer state.
+    PageAddr pointerPage_ = 0;
+    InstAddr pointerPc_ = 0;
+};
+
+/**
+ * Page-access histogram of the first @p num_accesses of the stream a
+ * fresh generator with identical arguments would produce. Used by
+ * TLM-Oracle as its oracular frequency profile.
+ */
+std::unordered_map<PageAddr, std::uint64_t>
+profilePageHeat(const WorkloadProfile &profile,
+                const GeneratorParams &params, std::uint64_t seed,
+                std::uint64_t num_accesses);
+
+/** Page-access histogram of the next @p num_accesses of @p source. */
+std::unordered_map<PageAddr, std::uint64_t>
+profilePageHeat(AccessSource &source, std::uint64_t num_accesses);
+
+} // namespace cameo
+
+#endif // CAMEO_TRACE_GENERATOR_HH

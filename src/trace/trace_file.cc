@@ -1,0 +1,152 @@
+#include "trace/trace_file.hh"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace cameo
+{
+
+namespace
+{
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 4;
+constexpr std::size_t kRecordBytes = 8 + 8 + 4 + 1 + 3;
+
+void
+put32(char *dst, std::uint32_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+void
+put64(char *dst, std::uint64_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+std::uint32_t
+get32(const char *src)
+{
+    std::uint32_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+get64(const char *src)
+{
+    std::uint64_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        return;
+    std::array<char, kHeaderBytes> header{};
+    std::memcpy(header.data(), kTraceMagic, 8);
+    put32(header.data() + 8, kTraceVersion);
+    put64(header.data() + 12, 0); // record count patched on close
+    put32(header.data() + 20, 0); // reserved
+    out_.write(header.data(), header.size());
+    good_ = out_.good();
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const Access &access)
+{
+    if (!good_ || closed_)
+        return;
+    std::array<char, kRecordBytes> rec{};
+    put64(rec.data(), access.pc);
+    put64(rec.data() + 8, access.vaddr);
+    put32(rec.data() + 16, access.gapInstructions);
+    rec[20] = static_cast<char>((access.isWrite ? 1 : 0) |
+                                (access.dependsOnPrev ? 2 : 0));
+    out_.write(rec.data(), rec.size());
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_ || !good_)
+        return;
+    closed_ = true;
+    // Patch the record count into the header.
+    out_.seekp(12, std::ios::beg);
+    std::array<char, 8> count_bytes{};
+    put64(count_bytes.data(), count_);
+    out_.write(count_bytes.data(), count_bytes.size());
+    out_.close();
+    good_ = !out_.fail();
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open trace file: " + path);
+
+    std::array<char, kHeaderBytes> header{};
+    in.read(header.data(), header.size());
+    if (!in || std::memcmp(header.data(), kTraceMagic, 8) != 0)
+        throw std::runtime_error("not a CAMEO trace file: " + path);
+    const std::uint32_t version = get32(header.data() + 8);
+    if (version != kTraceVersion) {
+        throw std::runtime_error("unsupported trace version " +
+                                 std::to_string(version));
+    }
+    const std::uint64_t count = get64(header.data() + 12);
+    records_.reserve(count);
+
+    std::array<char, kRecordBytes> rec{};
+    for (std::uint64_t i = 0; i < count; ++i) {
+        in.read(rec.data(), rec.size());
+        if (!in)
+            throw std::runtime_error("truncated trace file: " + path);
+        Access a;
+        a.pc = get64(rec.data());
+        a.vaddr = get64(rec.data() + 8);
+        a.gapInstructions = get32(rec.data() + 16);
+        a.isWrite = (rec[20] & 1) != 0;
+        a.dependsOnPrev = (rec[20] & 2) != 0;
+        records_.push_back(a);
+    }
+    if (records_.empty())
+        throw std::runtime_error("empty trace file: " + path);
+}
+
+Access
+TraceReader::next()
+{
+    const Access a = records_[cursor_];
+    cursor_ = (cursor_ + 1) % records_.size();
+    return a;
+}
+
+std::uint64_t
+recordTrace(AccessSource &source, const std::string &path,
+            std::uint64_t count)
+{
+    TraceWriter writer(path);
+    if (!writer.good())
+        return 0;
+    for (std::uint64_t i = 0; i < count; ++i)
+        writer.append(source.next());
+    writer.close();
+    return writer.good() ? writer.recordsWritten() : 0;
+}
+
+} // namespace cameo

@@ -1,0 +1,156 @@
+#include "trace/workloads.hh"
+
+#include <cassert>
+
+namespace cameo
+{
+
+const char *
+categoryName(WorkloadCategory category)
+{
+    switch (category) {
+      case WorkloadCategory::CapacityLimited:
+        return "Capacity";
+      case WorkloadCategory::LatencyLimited:
+        return "Latency";
+    }
+    return "Unknown";
+}
+
+namespace
+{
+
+WorkloadProfile
+make(std::string name, WorkloadCategory cat, double fp_gb, double mpki,
+     double stream, double pointer, double hot, std::uint32_t lpp,
+     double zipf, std::uint32_t mlp, double write_frac,
+     double dependent_frac, double window_frac)
+{
+    WorkloadProfile p;
+    p.name = std::move(name);
+    p.category = cat;
+    p.paperFootprintGb = fp_gb;
+    p.paperMpki = mpki;
+    p.streamFrac = stream;
+    p.pointerFrac = pointer;
+    p.hotFrac = hot;
+    p.linesPerPage = lpp;
+    p.zipfExponent = zipf;
+    p.mlp = mlp;
+    p.writeFrac = write_frac;
+    p.dependentFrac = dependent_frac;
+    p.streamWindowFrac = window_frac;
+    assert(stream + pointer + hot > 0.999 && stream + pointer + hot < 1.001);
+    return p;
+}
+
+std::vector<WorkloadProfile>
+buildRegistry()
+{
+    using WC = WorkloadCategory;
+    std::vector<WorkloadProfile> v;
+    // Arguments: name, category, footprint GB, MPKI, streamFrac,
+    // pointerFrac, hotFrac, linesPerPage, zipf, MLP, writeFrac,
+    // dependentFrac (of pointer-mode accesses), streamWindowFrac.
+    //
+    // --- Capacity-Limited (footprint > 12GB at paper scale) ---------
+    // mcf: sparse graph/pointer code; low MLP, poor spatial locality.
+    v.push_back(make("mcf", WC::CapacityLimited, 52.4, 39.1,
+                     0.10, 0.70, 0.20, 16, 1.10, 2, 0.20, 0.85, 0.30));
+    // lbm: lattice-Boltzmann streaming over large arrays; write-heavy.
+    v.push_back(make("lbm", WC::CapacityLimited, 12.8, 28.9,
+                     0.78, 0.07, 0.15, 64, 0.60, 8, 0.45, 0.0, 0.16));
+    // GemsFDTD: large stencil sweeps.
+    v.push_back(make("GemsFDTD", WC::CapacityLimited, 25.2, 19.1,
+                     0.65, 0.10, 0.25, 48, 0.80, 6, 0.30, 0.2, 0.09));
+    // bwaves: dense solver streams, moderate MPKI.
+    v.push_back(make("bwaves", WC::CapacityLimited, 27.2, 6.3,
+                     0.70, 0.08, 0.22, 56, 0.80, 6, 0.25, 0.2, 0.08));
+    // cactusADM: stencil with reused working planes.
+    v.push_back(make("cactusADM", WC::CapacityLimited, 12.8, 4.9,
+                     0.50, 0.12, 0.38, 32, 0.85, 4, 0.30, 0.3, 0.16));
+    // zeusmp: CFD stencil, similar shape to cactusADM.
+    v.push_back(make("zeusmp", WC::CapacityLimited, 14.1, 5.0,
+                     0.55, 0.12, 0.33, 36, 0.85, 4, 0.30, 0.3, 0.15));
+    // --- Latency-Limited (fits in memory, MPKI > 1) ------------------
+    // gcc: huge MPKI, irregular data structures, half-dependent.
+    v.push_back(make("gcc", WC::LatencyLimited, 2.8, 63.1,
+                     0.30, 0.50, 0.20, 24, 0.80, 4, 0.30, 0.5, 0.13));
+    // milc: strided lattice sweeps — poor spatial locality (~10 of 64
+    // lines per page) but independent accesses (decent MLP).
+    v.push_back(make("milc", WC::LatencyLimited, 11.2, 31.9,
+                     0.70, 0.10, 0.20, 10, 0.90, 6, 0.30, 0.0, 0.06));
+    // soplex: sparse LP solver, mixed streaming/indirection.
+    v.push_back(make("soplex", WC::LatencyLimited, 7.6, 28.9,
+                     0.50, 0.30, 0.20, 40, 0.70, 4, 0.25, 0.3, 0.07));
+    // libquantum: pure streaming over a small array; very regular.
+    v.push_back(make("libquantum", WC::LatencyLimited, 1.0, 25.4,
+                     0.95, 0.00, 0.05, 64, 0.30, 8, 0.25, 0.0, 1.00));
+    // xalancbmk: XML pointer chasing.
+    v.push_back(make("xalancbmk", WC::LatencyLimited, 4.4, 23.7,
+                     0.15, 0.60, 0.25, 20, 0.90, 2, 0.25, 0.9, 0.10));
+    // omnetpp: discrete-event pointer chasing.
+    v.push_back(make("omnetpp", WC::LatencyLimited, 4.8, 20.5,
+                     0.15, 0.65, 0.20, 18, 0.90, 2, 0.30, 0.9, 0.10));
+    // leslie3d: streaming stencil.
+    v.push_back(make("leslie3d", WC::LatencyLimited, 2.4, 15.8,
+                     0.70, 0.05, 0.25, 48, 0.60, 6, 0.30, 0.2, 0.30));
+    // sphinx3: acoustic scoring; mixed.
+    v.push_back(make("sphinx3", WC::LatencyLimited, 0.60, 13.5,
+                     0.55, 0.20, 0.25, 32, 0.70, 4, 0.20, 0.3, 0.35));
+    // bzip2: block compression; moderate locality, low MPKI.
+    v.push_back(make("bzip2", WC::LatencyLimited, 1.1, 3.48,
+                     0.45, 0.25, 0.30, 36, 0.80, 3, 0.35, 0.3, 0.30));
+    // dealII: FEM with decent cache behaviour.
+    v.push_back(make("dealII", WC::LatencyLimited, 0.88, 2.33,
+                     0.30, 0.40, 0.30, 28, 0.80, 3, 0.25, 0.5, 0.30));
+    // astar: path-finding over a tiny graph; mostly cache-resident.
+    v.push_back(make("astar", WC::LatencyLimited, 0.12, 1.81,
+                     0.10, 0.60, 0.30, 16, 1.00, 2, 0.20, 0.9, 0.20));
+
+    // Near-past reuse overrides (default 0.3): stencil/solver codes
+    // revisit recently produced planes heavily; libquantum is the one
+    // genuinely single-pass stream in the suite.
+    for (auto &p : v) {
+        if (p.name == "libquantum")
+            p.nearReuseFrac = 0.0;
+        else if (p.category == WC::CapacityLimited && p.name != "mcf")
+            p.nearReuseFrac = 0.40;
+        else if (p.name == "milc" || p.name == "leslie3d" ||
+                 p.name == "sphinx3")
+            p.nearReuseFrac = 0.35;
+    }
+    return v;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+allWorkloads()
+{
+    static const std::vector<WorkloadProfile> registry = buildRegistry();
+    return registry;
+}
+
+std::vector<WorkloadProfile>
+workloadsInCategory(WorkloadCategory category)
+{
+    std::vector<WorkloadProfile> out;
+    for (const auto &p : allWorkloads()) {
+        if (p.category == category)
+            out.push_back(p);
+    }
+    return out;
+}
+
+const WorkloadProfile *
+findWorkload(const std::string &name)
+{
+    for (const auto &p : allWorkloads()) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+} // namespace cameo

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Workload registry: the 17 SPEC CPU2006 benchmarks of Table II,
+ * re-expressed as synthetic-generator profiles.
+ *
+ * We do not have SPEC binaries or the authors' Pin traces, so each
+ * benchmark becomes a profile that reproduces the characteristics the
+ * paper's evaluation actually depends on:
+ *
+ *  - memory footprint (Table II, scaled with the system),
+ *  - L3 miss rate (Table II MPKI, via inter-access instruction gaps),
+ *  - spatial locality (lines touched per page — e.g. milc's "10 out of
+ *    64 lines" that makes page migration wasteful),
+ *  - temporal locality (Zipf page popularity + drifting streams),
+ *  - memory-level parallelism (streaming vs pointer-chasing),
+ *  - PC locality (small per-mode PC pools, which the LLP exploits).
+ */
+
+#ifndef CAMEO_TRACE_WORKLOADS_HH
+#define CAMEO_TRACE_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Table II workload classification. */
+enum class WorkloadCategory
+{
+    /** Memory footprint exceeds the baseline's 12GB off-chip memory. */
+    CapacityLimited,
+
+    /** Fits in memory; performance limited by access latency. */
+    LatencyLimited,
+};
+
+/** Printable name of a category ("Capacity" / "Latency"). */
+const char *categoryName(WorkloadCategory category);
+
+/** Synthetic-generator description of one benchmark. */
+struct WorkloadProfile
+{
+    std::string name;
+    WorkloadCategory category = WorkloadCategory::LatencyLimited;
+
+    /** Aggregate footprint at paper scale (Table II, 32 copies). */
+    double paperFootprintGb = 1.0;
+
+    /** Target L3 misses per thousand instructions (Table II). */
+    double paperMpki = 10.0;
+
+    /**
+     * Behaviour mix; fractions of access bursts spent in each mode.
+     * Must sum to 1.
+     */
+    double streamFrac = 0.5;  ///< Sequential walks over the footprint.
+    double pointerFrac = 0.2; ///< Dependent random accesses (MLP = 1).
+    double hotFrac = 0.3;     ///< Small hot set that lives in the L3.
+
+    /**
+     * Distinct lines referenced per 4KB page visit (1..64). Low values
+     * (milc: ~10) make page-granularity migration waste bandwidth.
+     */
+    std::uint32_t linesPerPage = 64;
+
+    /** Zipf exponent for page popularity in pointer mode. */
+    double zipfExponent = 0.8;
+
+    /**
+     * Fraction of pointer-mode accesses that depend on their
+     * predecessor (true linked-structure chasing, MLP = 1). Scattered
+     * but independent access patterns (milc's strided lattice) use
+     * pointer mode with a low dependentFrac.
+     */
+    double dependentFrac = 1.0;
+
+    /**
+     * Active working-set window of each stream, as a fraction of the
+     * footprint. Streams walk a window of this size repeatedly and the
+     * window drifts slowly across the whole footprint — the standard
+     * SPEC temporal-locality shape. 1.0 degenerates to full-footprint
+     * laps (pure streaming, libquantum/lbm).
+     */
+    double streamWindowFrac = 0.25;
+
+    /** Number of concurrent streams ("arrays"), each with its own
+     *  cursor and instruction address. */
+    std::uint32_t numStreams = 4;
+
+    /**
+     * Fraction of stream accesses that re-touch one of the stream's
+     * recently visited pages instead of advancing (stencil planes and
+     * solver blocks revisit what they just produced). This is the
+     * short-range line-level temporal locality that stacked caches and
+     * CAMEO exploit; it is too wide for the L3 but comfortably fits
+     * stacked DRAM. Table III's ~70% stacked-service fraction depends
+     * on it.
+     */
+    double nearReuseFrac = 0.3;
+
+    /** Maximum outstanding L3 misses for this workload's core model. */
+    std::uint32_t mlp = 4;
+
+    /** Fraction of accesses that are stores. */
+    double writeFrac = 0.3;
+
+    /** PC pool sizes per mode (LLP/MAP-I index locality). */
+    std::uint32_t streamPcs = 8;
+    std::uint32_t pointerPcs = 24;
+    std::uint32_t hotPcs = 16;
+};
+
+/** All 17 benchmarks of Table II, capacity-limited first. */
+const std::vector<WorkloadProfile> &allWorkloads();
+
+/** Profiles in @p category only. */
+std::vector<WorkloadProfile> workloadsInCategory(WorkloadCategory category);
+
+/** Find a profile by benchmark name; nullptr if unknown. */
+const WorkloadProfile *findWorkload(const std::string &name);
+
+} // namespace cameo
+
+#endif // CAMEO_TRACE_WORKLOADS_HH

@@ -1,0 +1,107 @@
+#include "util/cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cameo
+{
+
+CliParser::CliParser(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        const std::string body = arg.substr(2);
+        const std::size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            flags_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // --key value (if the next token is not itself a flag),
+        // otherwise a bare boolean flag.
+        if (i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flags_[body] = argv[++i];
+        } else {
+            flags_[body] = "";
+        }
+    }
+}
+
+bool
+CliParser::has(const std::string &name) const
+{
+    queried_.push_back(name);
+    return flags_.contains(name);
+}
+
+std::string
+CliParser::getString(const std::string &name, const std::string &def) const
+{
+    queried_.push_back(name);
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+}
+
+std::uint64_t
+CliParser::getUint(const std::string &name, std::uint64_t def) const
+{
+    queried_.push_back(name);
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+        errors_.push_back("--" + name + ": expected an integer, got '" +
+                          it->second + "'");
+        return def;
+    }
+    return v;
+}
+
+double
+CliParser::getDouble(const std::string &name, double def) const
+{
+    queried_.push_back(name);
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+        errors_.push_back("--" + name + ": expected a number, got '" +
+                          it->second + "'");
+        return def;
+    }
+    return v;
+}
+
+bool
+CliParser::getBool(const std::string &name, bool def) const
+{
+    queried_.push_back(name);
+    const auto it = flags_.find(name);
+    if (it == flags_.end())
+        return def;
+    return it->second.empty() || it->second == "true" ||
+           it->second == "1";
+}
+
+std::vector<std::string>
+CliParser::unknownFlags() const
+{
+    std::vector<std::string> unknown;
+    for (const auto &[name, value] : flags_) {
+        if (std::find(queried_.begin(), queried_.end(), name) ==
+            queried_.end()) {
+            unknown.push_back(name);
+        }
+    }
+    return unknown;
+}
+
+} // namespace cameo

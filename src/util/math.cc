@@ -1,0 +1,47 @@
+#include "util/math.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace cameo
+{
+
+double
+geometricMean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+speedup(double baseline_time, double config_time)
+{
+    if (config_time <= 0.0)
+        return 0.0;
+    return baseline_time / config_time;
+}
+
+double
+improvementPercent(double speedup_value)
+{
+    return (speedup_value - 1.0) * 100.0;
+}
+
+} // namespace cameo

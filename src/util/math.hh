@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Numeric helpers for reporting: geometric means, ratios, and the
+ * speedup arithmetic the paper's figures use.
+ */
+
+#ifndef CAMEO_UTIL_MATH_HH
+#define CAMEO_UTIL_MATH_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cameo
+{
+
+/**
+ * Geometric mean of a set of strictly positive values.
+ * Returns 0.0 for an empty span (callers print "n/a").
+ */
+double geometricMean(std::span<const double> values);
+
+/** Arithmetic mean; 0.0 for an empty span. */
+double arithmeticMean(std::span<const double> values);
+
+/**
+ * Speedup as the paper defines it: baseline execution time divided by
+ * the configuration's execution time. Returns 0.0 if @p config_time is
+ * zero (degenerate run).
+ */
+double speedup(double baseline_time, double config_time);
+
+/**
+ * "Improvement" percentage as quoted in the paper's prose: a speedup of
+ * 1.78x is a 78% improvement.
+ */
+double improvementPercent(double speedup_value);
+
+} // namespace cameo
+
+#endif // CAMEO_UTIL_MATH_HH

@@ -1,0 +1,129 @@
+#include "util/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cameo
+{
+
+namespace
+{
+
+/** SplitMix64 step used to expand a single seed into xoshiro state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+    // A theoretically-possible all-zero state would make the generator
+    // emit zeros forever; SplitMix64 cannot produce it from any seed,
+    // but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 1;
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::next(std::uint64_t bound)
+{
+    assert(bound != 0);
+    // Lemire's multiply-shift bounded draw; slight modulo bias is
+    // irrelevant at 64-bit width for the bounds we use.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + next(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 top bits into [0,1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::geometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // Inverse-CDF sampling of a geometric with success prob 1/mean.
+    const double p = 1.0 / mean;
+    const double u = nextDouble();
+    const double v = std::log1p(-u) / std::log1p(-p);
+    const auto draw = static_cast<std::uint64_t>(v) + 1;
+    return draw == 0 ? 1 : draw;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n)
+{
+    assert(n != 0);
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = sum;
+    }
+    for (auto &v : cdf_)
+        v /= sum;
+}
+
+std::uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const auto idx = static_cast<std::uint64_t>(it - cdf_.begin());
+    return idx < n_ ? idx : n_ - 1;
+}
+
+} // namespace cameo

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis
+ * and replacement policies.
+ *
+ * We deliberately avoid std::mt19937 in hot paths: the generators below
+ * (xoshiro256** plus a SplitMix64 seeder) are faster, have tiny state,
+ * and make simulation results reproducible across standard libraries.
+ * Determinism matters twice here: runs must be repeatable for tests, and
+ * the TLM-Oracle organization re-generates the same trace for its
+ * profiling pass.
+ */
+
+#ifndef CAMEO_UTIL_RNG_HH
+#define CAMEO_UTIL_RNG_HH
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cameo
+{
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Satisfies the essentials of
+ * UniformRandomBitGenerator so it can also feed <random> distributions.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound). Precondition: bound != 0. */
+    std::uint64_t next(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi]. Precondition: lo <= hi. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability @p p. */
+    bool chance(double p);
+
+    /**
+     * Geometric gap: integer >= 1 with mean approximately @p mean.
+     * Used for inter-access instruction gaps.
+     */
+    std::uint64_t geometric(double mean);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+/**
+ * Precomputed Zipf sampler over [0, n). Builds the harmonic CDF once and
+ * samples by binary search; fine for the table sizes the generators use
+ * (up to a few hundred thousand pages).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n  Support size; draws are in [0, n).
+     * @param s  Zipf exponent (s = 0 degenerates to uniform).
+     */
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw one value in [0, n). */
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t size() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    std::vector<double> cdf_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_UTIL_RNG_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every CAMEO subsystem.
+ *
+ * The simulator measures time in CPU cycles ("ticks") at the core clock
+ * (3.2 GHz in the paper's Table I). Addresses come in three flavours:
+ *
+ *  - virtual byte/line addresses, private to each workload copy;
+ *  - OS-physical addresses, produced by the paging layer (this is the
+ *    "Requested Address" of the paper); and
+ *  - device addresses, the real location inside one of the two DRAM
+ *    modules after the organization's remapping (the paper's "Physical
+ *    Address").
+ *
+ * All of them are 64-bit; the aliases below exist to make interfaces
+ * self-documenting, not to provide type safety.
+ */
+
+#ifndef CAMEO_UTIL_TYPES_HH
+#define CAMEO_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace cameo
+{
+
+/** Simulation time in CPU cycles at the core clock. */
+using Tick = std::uint64_t;
+
+/** A byte address (virtual, OS-physical, or device depending on context). */
+using Addr = std::uint64_t;
+
+/** A 64-byte line index (address >> 6). */
+using LineAddr = std::uint64_t;
+
+/** A 4-KB page index (address >> 12). */
+using PageAddr = std::uint64_t;
+
+/** An instruction address used for PC-indexed predictors. */
+using InstAddr = std::uint64_t;
+
+/** Cache-line size used throughout the paper and this reproduction. */
+inline constexpr std::uint64_t kLineBytes = 64;
+inline constexpr std::uint64_t kLineShift = 6;
+
+/** OS page size (4 KB in the paper's study). */
+inline constexpr std::uint64_t kPageBytes = 4096;
+inline constexpr std::uint64_t kPageShift = 12;
+
+/** Lines per OS page (64 in the paper; milc uses ~10 of them). */
+inline constexpr std::uint64_t kLinesPerPage = kPageBytes / kLineBytes;
+
+/** A tick value that no real event ever reaches. */
+inline constexpr Tick kTickMax = ~Tick{0};
+
+/** Convert a byte address to the line that contains it. */
+constexpr LineAddr
+lineOf(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+/** Convert a byte address to the page that contains it. */
+constexpr PageAddr
+pageOf(Addr addr)
+{
+    return addr >> kPageShift;
+}
+
+/** First byte address of a line. */
+constexpr Addr
+lineToAddr(LineAddr line)
+{
+    return line << kLineShift;
+}
+
+/** First byte address of a page. */
+constexpr Addr
+pageToAddr(PageAddr page)
+{
+    return page << kPageShift;
+}
+
+/** Line index of the first line in a page. */
+constexpr LineAddr
+pageToLine(PageAddr page)
+{
+    return page << (kPageShift - kLineShift);
+}
+
+/** Page index that contains a given line. */
+constexpr PageAddr
+lineToPage(LineAddr line)
+{
+    return line >> (kPageShift - kLineShift);
+}
+
+} // namespace cameo
+
+#endif // CAMEO_UTIL_TYPES_HH

@@ -1,0 +1,104 @@
+#include "vm/frame_allocator.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace cameo
+{
+
+FrameAllocator::FrameAllocator(std::uint32_t num_frames, std::uint64_t seed)
+    : frames_(num_frames), rng_(seed),
+      evictions_("vm.evictions", "pages evicted to storage"),
+      randomProbeHits_("vm.randomProbeHits",
+                       "victims found by the 5 random probes"),
+      clockSweeps_("vm.clockSweeps", "victims found by clock sweep")
+{
+    assert(num_frames != 0);
+    // Randomized free order: first-touch allocation scatters pages
+    // uniformly over the physical space (TLM-Static's random mapping).
+    freeList_.resize(num_frames);
+    std::iota(freeList_.begin(), freeList_.end(), 0u);
+    std::shuffle(freeList_.begin(), freeList_.end(), rng_);
+}
+
+FrameAllocation
+FrameAllocator::allocate(std::uint32_t core, PageAddr vpage)
+{
+    FrameAllocation result;
+    if (!freeList_.empty()) {
+        result.frame = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        result.frame = selectVictim();
+        Frame &victim = frames_[result.frame];
+        result.evicted = victim.owner;
+        result.evictedDirty = victim.dirty;
+        evictions_.inc();
+    }
+    Frame &frame = frames_[result.frame];
+    frame.valid = true;
+    frame.refBit = true;
+    frame.dirty = false;
+    frame.owner = FrameOwner{core, vpage};
+    return result;
+}
+
+std::uint32_t
+FrameAllocator::selectVictim()
+{
+    // Five random probes for an unreferenced page.
+    for (int probe = 0; probe < 5; ++probe) {
+        const auto f = static_cast<std::uint32_t>(rng_.next(frames_.size()));
+        if (!frames_[f].refBit) {
+            randomProbeHits_.inc();
+            return f;
+        }
+    }
+    // Clock sweep: clear reference bits until one is found clear.
+    clockSweeps_.inc();
+    for (std::size_t scanned = 0; scanned < 2 * frames_.size(); ++scanned) {
+        Frame &frame = frames_[clockHand_];
+        const std::uint32_t hand = clockHand_;
+        clockHand_ = (clockHand_ + 1) % frames_.size();
+        if (!frame.refBit)
+            return hand;
+        frame.refBit = false;
+    }
+    // All frames referenced twice around (cannot happen: we clear as we
+    // go), but fall back to the hand position for robustness.
+    return clockHand_;
+}
+
+void
+FrameAllocator::touch(std::uint32_t frame)
+{
+    assert(frame < frames_.size() && frames_[frame].valid);
+    frames_[frame].refBit = true;
+}
+
+void
+FrameAllocator::markDirty(std::uint32_t frame)
+{
+    assert(frame < frames_.size() && frames_[frame].valid);
+    frames_[frame].dirty = true;
+}
+
+std::optional<FrameOwner>
+FrameAllocator::ownerOf(std::uint32_t frame) const
+{
+    assert(frame < frames_.size());
+    if (!frames_[frame].valid)
+        return std::nullopt;
+    return frames_[frame].owner;
+}
+
+void
+FrameAllocator::registerStats(StatRegistry &registry)
+{
+    registry.add(evictions_);
+    registry.add(randomProbeHits_);
+    registry.add(clockSweeps_);
+}
+
+} // namespace cameo

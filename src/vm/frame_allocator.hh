@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Physical frame allocator with the paper's victim selection policy.
+ *
+ * Section III-A: "The victim page is selected using a clock algorithm
+ * (if an invalid page is not found after probing five random
+ * locations)." We implement exactly that: allocation prefers free
+ * frames (handed out in randomized order, which doubles as TLM-Static's
+ * random page placement); when memory is full, five random frames are
+ * probed for a clear reference bit, and failing that a clock hand
+ * sweeps, clearing reference bits until one is found.
+ */
+
+#ifndef CAMEO_VM_FRAME_ALLOCATOR_HH
+#define CAMEO_VM_FRAME_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stats/counter.hh"
+#include "stats/registry.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Identifies the virtual page occupying a frame. */
+struct FrameOwner
+{
+    std::uint32_t core = 0;
+    PageAddr vpage = 0;
+
+    bool operator==(const FrameOwner &) const = default;
+};
+
+/** Outcome of a frame allocation. */
+struct FrameAllocation
+{
+    /** The granted frame index. */
+    std::uint32_t frame = 0;
+
+    /** Previous occupant evicted to make room, if any. */
+    std::optional<FrameOwner> evicted;
+
+    /** True if the evicted page was dirty (must go to storage). */
+    bool evictedDirty = false;
+};
+
+/** Allocates and recycles OS-physical page frames. */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param num_frames Number of 4KB frames of OS-visible memory.
+     * @param seed       Determines the randomized free-list order and
+     *                   random victim probes.
+     */
+    FrameAllocator(std::uint32_t num_frames, std::uint64_t seed);
+
+    FrameAllocator(const FrameAllocator &) = delete;
+    FrameAllocator &operator=(const FrameAllocator &) = delete;
+
+    /**
+     * Allocate a frame for (core, vpage). If no frame is free, evicts a
+     * victim per the paper's policy and reports it in the result.
+     */
+    FrameAllocation allocate(std::uint32_t core, PageAddr vpage);
+
+    /** Mark a frame referenced (sets its reference bit). */
+    void touch(std::uint32_t frame);
+
+    /** Mark a frame's page dirty. */
+    void markDirty(std::uint32_t frame);
+
+    /** Number of frames currently free. */
+    std::uint32_t freeFrames() const
+    {
+        return static_cast<std::uint32_t>(freeList_.size());
+    }
+
+    std::uint32_t numFrames() const
+    {
+        return static_cast<std::uint32_t>(frames_.size());
+    }
+
+    /** Owner of @p frame; nullopt if the frame is free. */
+    std::optional<FrameOwner> ownerOf(std::uint32_t frame) const;
+
+    void registerStats(StatRegistry &registry);
+
+    const Counter &evictions() const { return evictions_; }
+    const Counter &randomProbeHits() const { return randomProbeHits_; }
+    const Counter &clockSweeps() const { return clockSweeps_; }
+
+  private:
+    /** Pick a victim frame: 5 random probes, then clock sweep. */
+    std::uint32_t selectVictim();
+
+    struct Frame
+    {
+        bool valid = false;
+        bool refBit = false;
+        bool dirty = false;
+        FrameOwner owner;
+    };
+
+    std::vector<Frame> frames_;
+    std::vector<std::uint32_t> freeList_;
+    std::uint32_t clockHand_ = 0;
+    Rng rng_;
+
+    Counter evictions_;
+    Counter randomProbeHits_;
+    Counter clockSweeps_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_VM_FRAME_ALLOCATOR_HH

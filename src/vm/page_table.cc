@@ -1,0 +1,35 @@
+#include "vm/page_table.hh"
+
+namespace cameo
+{
+
+std::optional<std::uint32_t>
+PageTable::lookup(std::uint32_t core, PageAddr vpage) const
+{
+    const auto it = table_.find(keyOf(core, vpage));
+    if (it == table_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+PageTable::map(std::uint32_t core, PageAddr vpage, std::uint32_t frame)
+{
+    table_[keyOf(core, vpage)] = frame;
+}
+
+void
+PageTable::unmap(std::uint32_t core, PageAddr vpage)
+{
+    const std::uint64_t key = keyOf(core, vpage);
+    table_.erase(key);
+    everEvicted_.insert(key);
+}
+
+bool
+PageTable::wasEvicted(std::uint32_t core, PageAddr vpage) const
+{
+    return everEvicted_.contains(keyOf(core, vpage));
+}
+
+} // namespace cameo

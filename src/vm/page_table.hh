@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Global (core, virtual page) -> frame mapping.
+ *
+ * The paper runs rate-mode workloads whose virtual-to-physical mapping
+ * "ensures that multiple benchmarks do not map to the same physical
+ * address"; we get the same property by keying the table on
+ * (core, vpage). The table also remembers which pages have ever been
+ * evicted, to distinguish major faults (SSD read) from first-touch
+ * minor faults (zero-fill, no storage read).
+ */
+
+#ifndef CAMEO_VM_PAGE_TABLE_HH
+#define CAMEO_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Maps (core, vpage) to physical frames. */
+class PageTable
+{
+  public:
+    PageTable() = default;
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /** Look up the frame for (core, vpage); nullopt if not resident. */
+    std::optional<std::uint32_t> lookup(std::uint32_t core,
+                                        PageAddr vpage) const;
+
+    /** Install a mapping (page became resident in @p frame). */
+    void map(std::uint32_t core, PageAddr vpage, std::uint32_t frame);
+
+    /** Remove a mapping (page evicted); remembers it for major-fault
+     *  classification. */
+    void unmap(std::uint32_t core, PageAddr vpage);
+
+    /** True if this page was resident before and has been evicted. */
+    bool wasEvicted(std::uint32_t core, PageAddr vpage) const;
+
+    std::size_t residentPages() const { return table_.size(); }
+
+  private:
+    static std::uint64_t
+    keyOf(std::uint32_t core, PageAddr vpage)
+    {
+        return (static_cast<std::uint64_t>(core) << 48) | vpage;
+    }
+
+    std::unordered_map<std::uint64_t, std::uint32_t> table_;
+    std::unordered_set<std::uint64_t> everEvicted_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_VM_PAGE_TABLE_HH

@@ -1,0 +1,39 @@
+#include "vm/ssd_model.hh"
+
+namespace cameo
+{
+
+SsdModel::SsdModel(Tick fault_latency)
+    : faultLatency_(fault_latency),
+      pageReads_("ssd.pageReads", "pages read from storage"),
+      pageWrites_("ssd.pageWrites", "pages written to storage"),
+      readBytes_("ssd.readBytes", "bytes read from storage"),
+      writeBytes_("ssd.writeBytes", "bytes written to storage")
+{
+}
+
+Tick
+SsdModel::readPage(Tick now)
+{
+    pageReads_.inc();
+    readBytes_.inc(kPageBytes);
+    return now + faultLatency_;
+}
+
+void
+SsdModel::writePage()
+{
+    pageWrites_.inc();
+    writeBytes_.inc(kPageBytes);
+}
+
+void
+SsdModel::registerStats(StatRegistry &registry)
+{
+    registry.add(pageReads_);
+    registry.add(pageWrites_);
+    registry.add(readBytes_);
+    registry.add(writeBytes_);
+}
+
+} // namespace cameo

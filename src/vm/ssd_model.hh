@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Solid-state-disk backing-store model.
+ *
+ * Table I: "Page Fault Latency: 32 micro seconds (100K cycles)". The
+ * model charges that fixed service latency per page fault and accounts
+ * storage bus traffic (4KB per page read or written) for Table IV's
+ * storage-bandwidth column.
+ */
+
+#ifndef CAMEO_VM_SSD_MODEL_HH
+#define CAMEO_VM_SSD_MODEL_HH
+
+#include <cstdint>
+
+#include "stats/counter.hh"
+#include "stats/registry.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Fixed-latency SSD with byte accounting. */
+class SsdModel
+{
+  public:
+    /** @param fault_latency Service latency per page fault, in cycles. */
+    explicit SsdModel(Tick fault_latency = 100'000);
+
+    SsdModel(const SsdModel &) = delete;
+    SsdModel &operator=(const SsdModel &) = delete;
+
+    /**
+     * Service a page read (major fault).
+     * @return Completion time: @p now plus the fault latency.
+     */
+    Tick readPage(Tick now);
+
+    /**
+     * Queue a page writeback (dirty eviction). Writebacks are
+     * asynchronous — they cost bandwidth, not demand latency.
+     */
+    void writePage();
+
+    Tick faultLatency() const { return faultLatency_; }
+
+    /** Total storage bus traffic in bytes (reads + writes). */
+    std::uint64_t bytesTransferred() const
+    {
+        return readBytes_.value() + writeBytes_.value();
+    }
+
+    void registerStats(StatRegistry &registry);
+
+    const Counter &pageReads() const { return pageReads_; }
+    const Counter &pageWrites() const { return pageWrites_; }
+    const Counter &readBytes() const { return readBytes_; }
+    const Counter &writeBytes() const { return writeBytes_; }
+
+  private:
+    Tick faultLatency_;
+    Counter pageReads_;
+    Counter pageWrites_;
+    Counter readBytes_;
+    Counter writeBytes_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_VM_SSD_MODEL_HH

@@ -1,0 +1,71 @@
+#include "vm/virtual_memory.hh"
+
+#include <cassert>
+
+namespace cameo
+{
+
+VirtualMemory::VirtualMemory(std::uint64_t visible_bytes, Tick fault_latency,
+                             std::uint64_t seed)
+    : allocator_(static_cast<std::uint32_t>(visible_bytes / kPageBytes),
+                 seed),
+      ssd_(fault_latency),
+      majorFaults_("vm.majorFaults", "page faults serviced from storage"),
+      minorFaults_("vm.minorFaults", "first-touch (zero-fill) faults")
+{
+    assert(visible_bytes >= kPageBytes);
+}
+
+Translation
+VirtualMemory::translate(Tick now, std::uint32_t core, PageAddr vpage,
+                         bool is_write)
+{
+    Translation result;
+    result.readyTick = now;
+
+    if (const auto frame = pageTable_.lookup(core, vpage)) {
+        result.frame = *frame;
+        allocator_.touch(*frame);
+        if (is_write)
+            allocator_.markDirty(*frame);
+        return result;
+    }
+
+    // Page fault: allocate a frame, possibly evicting.
+    const FrameAllocation alloc = allocator_.allocate(core, vpage);
+    if (alloc.evicted) {
+        pageTable_.unmap(alloc.evicted->core, alloc.evicted->vpage);
+        if (alloc.evictedDirty)
+            ssd_.writePage();
+    }
+    pageTable_.map(core, vpage, alloc.frame);
+
+    if (pageTable_.wasEvicted(core, vpage)) {
+        // Major fault: the page's contents live on storage.
+        result.majorFault = true;
+        majorFaults_.inc();
+        result.readyTick = ssd_.readPage(now);
+    } else {
+        // First touch: zero-fill, no storage read, negligible latency.
+        result.minorFault = true;
+        minorFaults_.inc();
+    }
+
+    result.frame = alloc.frame;
+    if (is_write)
+        allocator_.markDirty(alloc.frame);
+    if (mapHook_)
+        mapHook_(alloc.frame, core, vpage);
+    return result;
+}
+
+void
+VirtualMemory::registerStats(StatRegistry &registry)
+{
+    registry.add(majorFaults_);
+    registry.add(minorFaults_);
+    allocator_.registerStats(registry);
+    ssd_.registerStats(registry);
+}
+
+} // namespace cameo

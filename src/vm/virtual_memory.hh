@@ -1,0 +1,111 @@
+/**
+ * @file
+ * VirtualMemory: the demand-paging facade tying together the page
+ * table, frame allocator, and SSD.
+ *
+ * Each memory organization exposes a different OS-visible capacity
+ * (Cache hides the stacked DRAM; TLM and CAMEO expose it), so each
+ * simulated System owns one VirtualMemory sized by the organization.
+ * The capacity difference is what produces the paper's Capacity-Limited
+ * results: smaller visible memory means more page faults at 100K cycles
+ * apiece.
+ */
+
+#ifndef CAMEO_VM_VIRTUAL_MEMORY_HH
+#define CAMEO_VM_VIRTUAL_MEMORY_HH
+
+#include <functional>
+#include <optional>
+
+#include "stats/counter.hh"
+#include "stats/registry.hh"
+#include "util/types.hh"
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+#include "vm/ssd_model.hh"
+
+namespace cameo
+{
+
+/** Result of a virtual-address translation. */
+struct Translation
+{
+    /** OS-physical page frame index. */
+    std::uint32_t frame = 0;
+
+    /**
+     * Time at which the translation (and any fault service) completes;
+     * equals the request time when the page was resident.
+     */
+    Tick readyTick = 0;
+
+    /** Fault that read the page from storage (evicted earlier). */
+    bool majorFault = false;
+
+    /** First-touch fault (zero-fill, no storage read). */
+    bool minorFault = false;
+};
+
+/** Demand-paged virtual memory for all cores of one simulated system. */
+class VirtualMemory
+{
+  public:
+    /**
+     * Called when a virtual page becomes resident in a frame. Used by
+     * organizations that steer page placement (TLM-Oracle).
+     */
+    using MapHook =
+        std::function<void(std::uint32_t frame, std::uint32_t core,
+                           PageAddr vpage)>;
+
+    /**
+     * @param visible_bytes OS-visible memory capacity (whole frames).
+     * @param fault_latency SSD page-fault service latency in cycles.
+     * @param seed          RNG seed for frame placement/victim probes.
+     */
+    VirtualMemory(std::uint64_t visible_bytes, Tick fault_latency,
+                  std::uint64_t seed);
+
+    VirtualMemory(const VirtualMemory &) = delete;
+    VirtualMemory &operator=(const VirtualMemory &) = delete;
+
+    /**
+     * Translate (core, vpage) at time @p now, faulting the page in if
+     * needed.
+     *
+     * @param is_write Marks the frame dirty.
+     */
+    Translation translate(Tick now, std::uint32_t core, PageAddr vpage,
+                          bool is_write);
+
+    /** Register a page-mapped hook (at most one; TLM-Oracle uses it). */
+    void setMapHook(MapHook hook) { mapHook_ = std::move(hook); }
+
+    std::uint32_t numFrames() const { return allocator_.numFrames(); }
+    std::uint64_t visibleBytes() const
+    {
+        return std::uint64_t{allocator_.numFrames()} * kPageBytes;
+    }
+
+    const SsdModel &ssd() const { return ssd_; }
+    const PageTable &pageTable() const { return pageTable_; }
+    const FrameAllocator &allocator() const { return allocator_; }
+
+    void registerStats(StatRegistry &registry);
+
+    const Counter &majorFaults() const { return majorFaults_; }
+    const Counter &minorFaults() const { return minorFaults_; }
+
+  private:
+    FrameAllocator allocator_;
+    PageTable pageTable_;
+    SsdModel ssd_;
+    MapHook mapHook_;
+
+    Counter majorFaults_;
+    Counter minorFaults_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_VM_VIRTUAL_MEMORY_HH

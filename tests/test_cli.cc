@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the command-line parser, the JSON stats dump, and the
+ * DRAM refresh model (the pieces behind the cameo-sim tool).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dram/dram_module.hh"
+#include "stats/registry.hh"
+#include "util/cli.hh"
+
+namespace cameo
+{
+namespace
+{
+
+CliParser
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return CliParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliParserTest, KeyEqualsValue)
+{
+    const auto cli = parse({"--org=cameo", "--accesses=1000"});
+    EXPECT_EQ(cli.getString("org"), "cameo");
+    EXPECT_EQ(cli.getUint("accesses"), 1000u);
+}
+
+TEST(CliParserTest, KeySpaceValue)
+{
+    const auto cli = parse({"--org", "cache", "--seed", "7"});
+    EXPECT_EQ(cli.getString("org"), "cache");
+    EXPECT_EQ(cli.getUint("seed"), 7u);
+}
+
+TEST(CliParserTest, BareBooleanFlags)
+{
+    const auto cli = parse({"--json", "--verbose=false", "--on=1"});
+    EXPECT_TRUE(cli.getBool("json"));
+    EXPECT_FALSE(cli.getBool("verbose"));
+    EXPECT_TRUE(cli.getBool("on"));
+    EXPECT_FALSE(cli.getBool("absent"));
+    EXPECT_TRUE(cli.getBool("absent", true));
+}
+
+TEST(CliParserTest, Positional)
+{
+    const auto cli = parse({"record", "--out=x.trc", "milc"});
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "record");
+    EXPECT_EQ(cli.positional()[1], "milc");
+}
+
+TEST(CliParserTest, DefaultsWhenAbsent)
+{
+    const auto cli = parse({});
+    EXPECT_EQ(cli.getString("org", "cameo"), "cameo");
+    EXPECT_EQ(cli.getUint("n", 42), 42u);
+    EXPECT_DOUBLE_EQ(cli.getDouble("x", 1.5), 1.5);
+}
+
+TEST(CliParserTest, BadIntegerRecordsError)
+{
+    const auto cli = parse({"--accesses=abc"});
+    EXPECT_EQ(cli.getUint("accesses", 9), 9u);
+    ASSERT_EQ(cli.errors().size(), 1u);
+    EXPECT_NE(cli.errors()[0].find("accesses"), std::string::npos);
+}
+
+TEST(CliParserTest, UnknownFlagsDetected)
+{
+    const auto cli = parse({"--known=1", "--typo=2"});
+    (void)cli.getUint("known");
+    const auto unknown = cli.unknownFlags();
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(CliParserTest, DoubleParsing)
+{
+    const auto cli = parse({"--scale=2.5", "--bad=zz"});
+    EXPECT_DOUBLE_EQ(cli.getDouble("scale"), 2.5);
+    EXPECT_DOUBLE_EQ(cli.getDouble("bad", 3.0), 3.0);
+    EXPECT_EQ(cli.errors().size(), 1u);
+}
+
+TEST(JsonDumpTest, WellFormedAndComplete)
+{
+    StatRegistry reg;
+    Counter c("alpha.count", "desc");
+    c.inc(123);
+    Distribution d("beta.dist", "desc");
+    d.sample(10);
+    d.sample(20);
+    reg.add(c);
+    reg.add(d);
+    std::ostringstream out;
+    reg.dumpJson(out);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("\"alpha.count\": 123"), std::string::npos);
+    EXPECT_NE(s.find("\"beta.dist\""), std::string::npos);
+    EXPECT_NE(s.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(s.find("\"mean\": 15"), std::string::npos);
+    // Crude structural sanity: balanced braces, no trailing comma.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+              std::count(s.begin(), s.end(), '}'));
+    EXPECT_EQ(s.find(",\n}"), std::string::npos);
+}
+
+TEST(RefreshTest, DisabledByDefault)
+{
+    const DramTimings t = offchipTimings();
+    EXPECT_EQ(t.tRefi, 0u);
+    DramModule mod("t", t, 1 << 20);
+    mod.access(0, 0, false, 64);
+    EXPECT_EQ(mod.refreshStalls().value(), 0u);
+}
+
+TEST(RefreshTest, StallsAccessesInRefreshWindow)
+{
+    DramTimings t = offchipTimings();
+    t.tRefi = 1000; // 4000 cpu cycles
+    t.tRfc = 100;   // 400 cpu cycles
+    DramModule mod("t", t, 1 << 20);
+    // An access at the very start of a refresh window is pushed past
+    // it: latency = rfc + idle latency.
+    const Tick done = mod.access(0, 0, false, 64);
+    EXPECT_EQ(done, t.rfcCycles() + t.idleLatency(64));
+    EXPECT_EQ(mod.refreshStalls().value(), 1u);
+    // An access in the middle of the period is unaffected.
+    const Tick mid = t.refiCycles() / 2;
+    const Tick done2 = mod.access(mid, 1, false, 64);
+    EXPECT_EQ(done2, mid + t.idleLatency(64));
+    EXPECT_EQ(mod.refreshStalls().value(), 1u);
+}
+
+TEST(RefreshTest, PeriodicityAcrossWindows)
+{
+    DramTimings t = offchipTimings();
+    t.tRefi = 1000;
+    t.tRfc = 100;
+    DramModule mod("t", t, 1 << 20);
+    // Hit the start of several consecutive refresh windows.
+    for (int k = 1; k <= 5; ++k)
+        mod.access(static_cast<Tick>(k) * t.refiCycles() + 1,
+                   static_cast<std::uint64_t>(k) * 1000, false, 64);
+    EXPECT_EQ(mod.refreshStalls().value(), 5u);
+}
+
+TEST(RefreshTest, ThroughputCostMatchesDutyCycle)
+{
+    // With tRFC/tREFI = 10%, a saturating stream should lose roughly
+    // that fraction of throughput.
+    DramTimings t = offchipTimings();
+    DramModule plain("p", t, 1 << 22);
+    t.tRefi = 1000;
+    t.tRfc = 100;
+    DramModule refreshed("r", t, 1 << 22);
+    Tick done_p = 0, done_r = 0;
+    for (int i = 0; i < 20000; ++i) {
+        done_p = plain.access(0, static_cast<std::uint64_t>(i) % 60000,
+                              false, 64);
+        done_r = refreshed.access(0,
+                                  static_cast<std::uint64_t>(i) % 60000,
+                                  false, 64);
+    }
+    const double ratio =
+        static_cast<double>(done_r) / static_cast<double>(done_p);
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 1.35);
+}
+
+} // namespace
+} // namespace cameo

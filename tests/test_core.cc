@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Unit tests for the paper's core structures: congruence-group
+ * arithmetic, the Line Location Table, the LEAD layout (including the
+ * adder-only division by 31), and the Line Location Predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/congruence_group.hh"
+#include "core/lead_layout.hh"
+#include "core/line_location_predictor.hh"
+#include "core/line_location_table.hh"
+#include "util/rng.hh"
+
+namespace cameo
+{
+namespace
+{
+
+TEST(CongruenceGroupTest, PaperConfigurationGeometry)
+{
+    // 4GB stacked / 16GB total at paper scale: groups of 4 lines.
+    const std::uint64_t stacked = (4ull << 30) / 64;
+    const std::uint64_t total = (16ull << 30) / 64;
+    CongruenceGroups cg(stacked, total);
+    EXPECT_EQ(cg.numGroups(), stacked);
+    EXPECT_EQ(cg.groupSize(), 4u);
+    EXPECT_EQ(cg.totalLines(), total);
+}
+
+TEST(CongruenceGroupTest, GroupIsBottomBits)
+{
+    CongruenceGroups cg(1 << 10, 4 << 10);
+    // The paper: bottom log2(N) bits identify the group.
+    EXPECT_EQ(cg.groupOf(0x12345), 0x12345u & 0x3FF);
+    EXPECT_EQ(cg.slotOf(0x12345), 0x12345u >> 10);
+}
+
+TEST(CongruenceGroupTest, LineRoundTrip)
+{
+    CongruenceGroups cg(1 << 10, 4 << 10);
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const LineAddr line = rng.next(cg.totalLines());
+        EXPECT_EQ(cg.lineOf(cg.groupOf(line), cg.slotOf(line)), line);
+    }
+}
+
+TEST(CongruenceGroupTest, OffchipLinesDisjointAcrossLocations)
+{
+    CongruenceGroups cg(1 << 10, 4 << 10);
+    // Locations 1..3 of all groups must tile the off-chip space.
+    std::vector<bool> used(3 << 10, false);
+    for (std::uint64_t g = 0; g < cg.numGroups(); ++g) {
+        for (std::uint32_t loc = 1; loc < cg.groupSize(); ++loc) {
+            const std::uint64_t line = cg.offchipLineOf(g, loc);
+            ASSERT_LT(line, used.size());
+            EXPECT_FALSE(used[line]);
+            used[line] = true;
+        }
+    }
+}
+
+TEST(LltTest, StartsAsIdentity)
+{
+    LineLocationTable llt(256, 4);
+    for (std::uint64_t g = 0; g < 256; ++g) {
+        for (std::uint32_t s = 0; s < 4; ++s) {
+            EXPECT_EQ(llt.locationOf(g, s), s);
+            EXPECT_EQ(llt.slotAt(g, s), s);
+        }
+        EXPECT_TRUE(llt.verifyGroup(g));
+    }
+    EXPECT_EQ(llt.permutedGroups(), 0u);
+}
+
+TEST(LltTest, SwapUpdatesBothDirections)
+{
+    LineLocationTable llt(16, 4);
+    // The paper's Figure 5 example: request B (slot 1) -> swap with A
+    // (slot 0); then request D (slot 3) -> swap with B.
+    llt.swapSlots(7, 1, 0);
+    EXPECT_EQ(llt.locationOf(7, 1), 0u); // B now in stacked
+    EXPECT_EQ(llt.locationOf(7, 0), 1u); // A took B's place
+    llt.swapSlots(7, 3, llt.slotAt(7, 0));
+    EXPECT_EQ(llt.locationOf(7, 3), 0u); // D now in stacked
+    EXPECT_EQ(llt.locationOf(7, 1), 3u); // B moved within off-chip
+    EXPECT_EQ(llt.locationOf(7, 0), 1u); // A untouched
+    EXPECT_TRUE(llt.verifyGroup(7));
+    EXPECT_EQ(llt.permutedGroups(), 1u);
+}
+
+TEST(LltTest, PaperEncodedSize)
+{
+    // "the total size of the LLT for our system will be 64 MB":
+    // 64M groups x 4 x 2 bits = 64MB.
+    LineLocationTable llt(1 << 20, 4); // scaled-down group count
+    EXPECT_EQ(llt.encodedBytes(), (1ull << 20));
+    // Per the paper: one byte per group at K = 4.
+}
+
+TEST(LltTest, PermutationInvariantUnderRandomSwaps)
+{
+    LineLocationTable llt(64, 4);
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t g = rng.next(64);
+        llt.swapSlots(g, static_cast<std::uint32_t>(rng.next(4)),
+                      static_cast<std::uint32_t>(rng.next(4)));
+        ASSERT_TRUE(llt.verifyGroup(g));
+    }
+}
+
+TEST(LltTest, SupportsOtherGroupSizes)
+{
+    for (std::uint32_t k : {2u, 8u, 16u}) {
+        LineLocationTable llt(32, k);
+        Rng rng(k);
+        for (int i = 0; i < 1000; ++i) {
+            const std::uint64_t g = rng.next(32);
+            llt.swapSlots(g, static_cast<std::uint32_t>(rng.next(k)),
+                          static_cast<std::uint32_t>(rng.next(k)));
+            ASSERT_TRUE(llt.verifyGroup(g));
+        }
+    }
+}
+
+TEST(LeadLayoutTest, PaperGeometry)
+{
+    EXPECT_EQ(LeadLayout::kLeadsPerRow, 31u);
+    EXPECT_EQ(LeadLayout::kLeadBytes, 66u);
+    EXPECT_EQ(LeadLayout::kLeadBurstBytes, 80u);
+    // "useful capacity of 31/32 (97%)".
+    const LeadLayout lead((4ull << 30) / 64);
+    EXPECT_NEAR(static_cast<double>(lead.usableLines()) /
+                    static_cast<double>((4ull << 30) / 64),
+                31.0 / 32.0, 1e-6);
+}
+
+TEST(LeadLayoutTest, RemapMatchesPaperFormula)
+{
+    const LeadLayout lead(1 << 20);
+    for (std::uint64_t x : {0ull, 1ull, 30ull, 31ull, 62ull, 1000ull,
+                            999999ull}) {
+        if (x >= lead.usableLines())
+            continue;
+        // Paper: physical = X + X/31.
+        EXPECT_EQ(lead.physicalLineOf(x), x + x / 31);
+    }
+}
+
+TEST(LeadLayoutTest, RemapIsInjective)
+{
+    const LeadLayout lead(32 * 64);
+    std::vector<bool> used(32 * 64, false);
+    for (std::uint64_t x = 0; x < lead.usableLines(); ++x) {
+        const std::uint64_t p = lead.physicalLineOf(x);
+        ASSERT_LT(p, used.size());
+        EXPECT_FALSE(used[p]);
+        used[p] = true;
+    }
+}
+
+TEST(LeadLayoutTest, AdderOnlyDivisionBy31Exact)
+{
+    // The residue-arithmetic division (31 = 32 - 1) must agree with
+    // hardware division everywhere, including the tricky multiples.
+    for (std::uint64_t x = 0; x < 100000; ++x) {
+        ASSERT_EQ(LeadLayout::adderOnlyDivideBy31(x), x / 31) << x;
+        ASSERT_EQ(LeadLayout::adderOnlyMod31(x), x % 31) << x;
+    }
+    Rng rng(13);
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t x = rng();
+        ASSERT_EQ(LeadLayout::adderOnlyDivideBy31(x), x / 31) << x;
+        ASSERT_EQ(LeadLayout::adderOnlyMod31(x), x % 31) << x;
+    }
+}
+
+TEST(LlpTest, ClassificationMatchesTableThree)
+{
+    using PC = PredictionCase;
+    // (predicted, actual) -> case
+    EXPECT_EQ(LineLocationPredictor::classify(0, 0),
+              PC::StackedPredStacked);
+    EXPECT_EQ(LineLocationPredictor::classify(2, 0),
+              PC::StackedPredOffchip);
+    EXPECT_EQ(LineLocationPredictor::classify(0, 3),
+              PC::OffchipPredStacked);
+    EXPECT_EQ(LineLocationPredictor::classify(3, 3),
+              PC::OffchipPredCorrect);
+    EXPECT_EQ(LineLocationPredictor::classify(1, 3),
+              PC::OffchipPredWrong);
+}
+
+TEST(LlpTest, SamAlwaysPredictsStacked)
+{
+    LineLocationPredictor sam(PredictorKind::Sam, 2, 4);
+    for (std::uint32_t actual = 0; actual < 4; ++actual)
+        EXPECT_EQ(sam.predict(0, 0x400 + actual, actual), 0u);
+}
+
+TEST(LlpTest, PerfectAlwaysCorrect)
+{
+    LineLocationPredictor perfect(PredictorKind::Perfect, 2, 4);
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const auto actual = static_cast<std::uint32_t>(rng.next(4));
+        const auto pred = perfect.predict(1, rng(), actual);
+        EXPECT_EQ(pred, actual);
+        perfect.update(1, 0x100, pred, actual);
+    }
+    EXPECT_DOUBLE_EQ(perfect.accuracy(), 1.0);
+}
+
+TEST(LlpTest, LastTimePredictionLearns)
+{
+    LineLocationPredictor llp(PredictorKind::Llp, 1, 4);
+    const InstAddr pc = 0x401000;
+    // Train location 2, then predict.
+    llp.update(0, pc, llp.predict(0, pc, 2), 2);
+    EXPECT_EQ(llp.predict(0, pc, 0), 2u);
+    // Location changes: one mispredict, then it tracks.
+    llp.update(0, pc, llp.predict(0, pc, 3), 3);
+    EXPECT_EQ(llp.predict(0, pc, 0), 3u);
+}
+
+TEST(LlpTest, PerCoreTablesIndependent)
+{
+    LineLocationPredictor llp(PredictorKind::Llp, 2, 4);
+    const InstAddr pc = 0x401000;
+    llp.update(0, pc, 0, 2);
+    EXPECT_EQ(llp.predict(0, pc, 0), 2u);
+    EXPECT_EQ(llp.predict(1, pc, 0), 0u); // core 1 untrained
+}
+
+TEST(LlpTest, SingleRegisterVariant)
+{
+    // The paper's strawman before the table: one Line Location
+    // Register per core (table size 1) — every PC shares it.
+    LineLocationPredictor llr(PredictorKind::Llp, 1, 4, 1);
+    llr.update(0, 0x1000, 0, 3);
+    EXPECT_EQ(llr.predict(0, 0x9999, 0), 3u); // different PC, same LLR
+    EXPECT_EQ(llr.tableEntries(), 1u);
+}
+
+TEST(LlpTest, TableSizeChangesAliasing)
+{
+    // With a large table, two PCs train independently; with one entry
+    // they alias.
+    LineLocationPredictor big(PredictorKind::Llp, 1, 4, 4096);
+    const InstAddr pc_a = 0x1000, pc_b = 0x2000;
+    big.update(0, pc_a, 0, 1);
+    big.update(0, pc_b, 0, 2);
+    EXPECT_EQ(big.predict(0, pc_a, 0), 1u);
+    EXPECT_EQ(big.predict(0, pc_b, 0), 2u);
+    EXPECT_EQ(big.storageBytes(), 4096u * 2 / 8);
+}
+
+TEST(LlpTest, StorageMatchesPaperClaim)
+{
+    // "a table of LLR with 256 entries would require 64 bytes" per
+    // core; "eight such prediction tables... total storage overhead of
+    // 512 bytes".
+    LineLocationPredictor llp(PredictorKind::Llp, 8, 4);
+    EXPECT_EQ(llp.storageBytes(), 512u);
+    LineLocationPredictor one(PredictorKind::Llp, 1, 4);
+    EXPECT_EQ(one.storageBytes(), 64u);
+}
+
+TEST(LlpTest, AccuracyComputation)
+{
+    LineLocationPredictor llp(PredictorKind::Llp, 1, 4);
+    const InstAddr pc = 0x500000;
+    // First: untrained predicts 0, actual 1 -> case 3 (wrong).
+    llp.update(0, pc, llp.predict(0, pc, 1), 1);
+    // Second: predicts 1, actual 1 -> case 4 (correct).
+    llp.update(0, pc, llp.predict(0, pc, 1), 1);
+    // Third: predicts 1, actual 0 -> case 2 (wrong).
+    llp.update(0, pc, llp.predict(0, pc, 0), 0);
+    // Fourth: predicts 0, actual 0 -> case 1 (correct).
+    llp.update(0, pc, llp.predict(0, pc, 0), 0);
+    EXPECT_DOUBLE_EQ(llp.accuracy(), 0.5);
+    EXPECT_EQ(llp.totalPredictions(), 4u);
+    EXPECT_EQ(llp.caseCount(PredictionCase::OffchipPredStacked), 1u);
+    EXPECT_EQ(llp.caseCount(PredictionCase::OffchipPredCorrect), 1u);
+    EXPECT_EQ(llp.caseCount(PredictionCase::StackedPredOffchip), 1u);
+    EXPECT_EQ(llp.caseCount(PredictionCase::StackedPredStacked), 1u);
+}
+
+/** Parameterized: every predictor kind stays within its contract. */
+class PredictorKindTest
+    : public ::testing::TestWithParam<PredictorKind>
+{
+};
+
+TEST_P(PredictorKindTest, PredictionsAlwaysInRange)
+{
+    LineLocationPredictor pred(GetParam(), 4, 4);
+    Rng rng(23);
+    for (int i = 0; i < 10000; ++i) {
+        const auto core = static_cast<std::uint32_t>(rng.next(4));
+        const InstAddr pc = 0x400000 + 4 * rng.next(512);
+        const auto actual = static_cast<std::uint32_t>(rng.next(4));
+        const auto p = pred.predict(core, pc, actual);
+        ASSERT_LT(p, 4u);
+        pred.update(core, pc, p, actual);
+    }
+    EXPECT_EQ(pred.totalPredictions(), 10000u);
+    if (GetParam() == PredictorKind::Perfect) {
+        EXPECT_DOUBLE_EQ(pred.accuracy(), 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PredictorKindTest,
+                         ::testing::Values(PredictorKind::Sam,
+                                           PredictorKind::Llp,
+                                           PredictorKind::Perfect));
+
+} // namespace
+} // namespace cameo
+
+namespace cameo
+{
+namespace
+{
+
+TEST(LeadLayoutExtraTest, OverheadAccounting)
+{
+    const LeadLayout lead(32 * 100);
+    EXPECT_EQ(lead.usableLines() + lead.overheadLines(),
+              std::uint64_t{32} * 100);
+    EXPECT_EQ(lead.overheadLines(), 100u);
+}
+
+TEST(LltExtraTest, EncodedBytesForOtherGroupSizes)
+{
+    // K = 2: 2 fields x 1 bit = 2 bits/group.
+    EXPECT_EQ(LineLocationTable(1024, 2).encodedBytes(), 1024u * 2 / 8);
+    // K = 8: 8 fields x 3 bits = 24 bits/group.
+    EXPECT_EQ(LineLocationTable(1024, 8).encodedBytes(), 1024u * 24 / 8);
+}
+
+TEST(CongruenceGroupExtraTest, DefaultScaledGeometry)
+{
+    // The default scaled system: 8MB stacked / 32MB total -> 128K
+    // groups of 4, exactly the paper's K.
+    CongruenceGroups cg((8ull << 20) / 64, (32ull << 20) / 64);
+    EXPECT_EQ(cg.numGroups(), (8ull << 20) / 64);
+    EXPECT_EQ(cg.groupSize(), 4u);
+}
+
+} // namespace
+} // namespace cameo

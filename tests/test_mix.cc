@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for multi-programmed (mixed) workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/system.hh"
+#include "trace/workloads.hh"
+
+namespace cameo
+{
+namespace
+{
+
+SystemConfig
+mixConfig()
+{
+    SystemConfig c = tinyConfig();
+    c.accessesPerCore = 8000;
+    return c;
+}
+
+TEST(MixTest, RunsAndLabels)
+{
+    const std::vector<WorkloadProfile> mix{*findWorkload("milc"),
+                                           *findWorkload("sphinx3")};
+    const RunResult r = runMix(mixConfig(), OrgKind::Cameo, mix);
+    EXPECT_GT(r.execTime, 0u);
+    EXPECT_EQ(r.workload, "mix(milc+sphinx3)");
+    EXPECT_EQ(r.category, WorkloadCategory::LatencyLimited);
+}
+
+TEST(MixTest, CategoryIsCapacityIfAnyMemberIs)
+{
+    const std::vector<WorkloadProfile> mix{*findWorkload("sphinx3"),
+                                           *findWorkload("zeusmp")};
+    const RunResult r = runMix(mixConfig(), OrgKind::Baseline, mix);
+    EXPECT_EQ(r.category, WorkloadCategory::CapacityLimited);
+}
+
+TEST(MixTest, SingleElementMixEqualsRateMode)
+{
+    const SystemConfig c = mixConfig();
+    const WorkloadProfile &wl = *findWorkload("soplex");
+    const RunResult rate = runWorkload(c, OrgKind::Cameo, wl);
+    const RunResult mix =
+        runMix(c, OrgKind::Cameo, std::vector<WorkloadProfile>{wl});
+    EXPECT_EQ(mix.execTime, rate.execTime);
+    EXPECT_EQ(mix.offchipBytes, rate.offchipBytes);
+    EXPECT_EQ(mix.workload, "soplex");
+}
+
+TEST(MixTest, Deterministic)
+{
+    const std::vector<WorkloadProfile> mix{*findWorkload("gcc"),
+                                           *findWorkload("milc")};
+    const RunResult a = runMix(mixConfig(), OrgKind::Cameo, mix);
+    const RunResult b = runMix(mixConfig(), OrgKind::Cameo, mix);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.stackedBytes, b.stackedBytes);
+}
+
+TEST(MixTest, MembersActuallyInterleave)
+{
+    // A mix of a tiny-footprint and a big-footprint workload must
+    // touch more distinct pages than the tiny one alone but fewer
+    // per-core than the big one alone (cores split between them).
+    const SystemConfig c = mixConfig();
+    const RunResult tiny =
+        runWorkload(c, OrgKind::Baseline, *findWorkload("astar"));
+    const RunResult mixed = runMix(
+        c, OrgKind::Baseline,
+        {*findWorkload("astar"), *findWorkload("milc")});
+    EXPECT_GT(mixed.minorFaults, tiny.minorFaults);
+}
+
+TEST(MixTest, AllOrgsHandleMixes)
+{
+    const std::vector<WorkloadProfile> mix{*findWorkload("milc"),
+                                           *findWorkload("zeusmp")};
+    for (OrgKind kind :
+         {OrgKind::Baseline, OrgKind::AlloyCache, OrgKind::TlmStatic,
+          OrgKind::TlmDynamic, OrgKind::TlmFreq, OrgKind::TlmOracle,
+          OrgKind::DoubleUse, OrgKind::Cameo, OrgKind::CameoFreq}) {
+        const RunResult r = runMix(mixConfig(), kind, mix);
+        EXPECT_GT(r.execTime, 0u) << orgKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace cameo

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and the
+ * agent-interleaving SimKernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/kernel.hh"
+
+namespace cameo
+{
+namespace
+{
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoTieBreak)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&](Tick) { order.push_back(1); });
+    q.schedule(5, [&](Tick) { order.push_back(2); });
+    q.schedule(5, [&](Tick) { order.push_back(3); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&](Tick) { ++count; });
+    q.schedule(20, [&](Tick) { ++count; });
+    q.schedule(30, [&](Tick) { ++count; });
+    q.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.nextTick(), 30u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&](Tick now) {
+        ++fired;
+        q.schedule(now + 5, [&](Tick) { ++fired; });
+    });
+    const Tick last = q.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(last, 15u);
+}
+
+TEST(EventQueueTest, CurTickTracksExecution)
+{
+    EventQueue q;
+    q.schedule(42, [](Tick) {});
+    EXPECT_EQ(q.curTick(), 0u);
+    q.runOne();
+    EXPECT_EQ(q.curTick(), 42u);
+}
+
+/** Agent that advances its clock by a fixed stride per step. */
+class StrideAgent : public Agent
+{
+  public:
+    StrideAgent(Tick start, Tick stride, int steps,
+                std::vector<std::pair<int, Tick>> *log, int id)
+        : clock_(start), stride_(stride), remaining_(steps), log_(log),
+          id_(id)
+    {}
+
+    Tick nextReadyTick() const override { return clock_; }
+    bool done() const override { return remaining_ == 0; }
+
+    void
+    step() override
+    {
+        log_->emplace_back(id_, clock_);
+        clock_ += stride_;
+        --remaining_;
+    }
+
+  private:
+    Tick clock_;
+    Tick stride_;
+    int remaining_;
+    std::vector<std::pair<int, Tick>> *log_;
+    int id_;
+};
+
+TEST(SimKernelTest, StepsAgentsInGlobalTimeOrder)
+{
+    std::vector<std::pair<int, Tick>> log;
+    StrideAgent fast(0, 3, 10, &log, 0);
+    StrideAgent slow(1, 7, 5, &log, 1);
+    SimKernel kernel;
+    kernel.addAgent(&fast);
+    kernel.addAgent(&slow);
+    kernel.run();
+
+    ASSERT_EQ(log.size(), 15u);
+    // Steps must be globally ordered by the clock at step time.
+    for (std::size_t i = 1; i < log.size(); ++i)
+        EXPECT_LE(log[i - 1].second, log[i].second);
+}
+
+TEST(SimKernelTest, ReturnsSlowestFinishTime)
+{
+    std::vector<std::pair<int, Tick>> log;
+    StrideAgent a(0, 10, 3, &log, 0);  // finishes at clock 30
+    StrideAgent b(0, 100, 2, &log, 1); // finishes at clock 200
+    SimKernel kernel;
+    kernel.addAgent(&a);
+    kernel.addAgent(&b);
+    EXPECT_EQ(kernel.run(), 200u);
+}
+
+TEST(SimKernelTest, MaxStepsGuardStopsRunaway)
+{
+    std::vector<std::pair<int, Tick>> log;
+    StrideAgent a(0, 1, 1000000, &log, 0);
+    SimKernel kernel;
+    kernel.addAgent(&a);
+    kernel.run(100);
+    EXPECT_EQ(log.size(), 100u);
+}
+
+TEST(SimKernelTest, EmptyKernelReturnsZero)
+{
+    SimKernel kernel;
+    EXPECT_EQ(kernel.run(), 0u);
+}
+
+/** Agent whose clock can jump (models a fault stall + yield). */
+class JumpingAgent : public Agent
+{
+  public:
+    explicit JumpingAgent(std::vector<Tick> *log) : log_(log) {}
+
+    Tick nextReadyTick() const override { return clock_; }
+    bool done() const override { return steps_ >= 4; }
+
+    void
+    step() override
+    {
+        log_->push_back(clock_);
+        ++steps_;
+        clock_ += (steps_ == 2) ? 1000 : 10; // big jump mid-run
+    }
+
+  private:
+    Tick clock_ = 0;
+    int steps_ = 0;
+    std::vector<Tick> *log_;
+};
+
+TEST(SimKernelTest, OtherAgentsRunDuringJumps)
+{
+    std::vector<Tick> jump_log;
+    std::vector<std::pair<int, Tick>> stride_log;
+    JumpingAgent jumper(&jump_log);
+    StrideAgent strider(0, 50, 30, &stride_log, 0);
+    SimKernel kernel;
+    kernel.addAgent(&jumper);
+    kernel.addAgent(&strider);
+    kernel.run();
+    // The strider must have stepped inside the jumper's 1000-cycle gap.
+    bool inside = false;
+    for (const auto &[id, t] : stride_log)
+        inside |= (t > 20 && t < 1000);
+    EXPECT_TRUE(inside);
+}
+
+} // namespace
+} // namespace cameo

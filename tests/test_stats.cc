@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the stats library: counters, distributions, the
+ * registry, and text-table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/counter.hh"
+#include "stats/distribution.hh"
+#include "stats/registry.hh"
+#include "stats/table.hh"
+
+namespace cameo
+{
+namespace
+{
+
+TEST(CounterTest, IncrementAndReset)
+{
+    Counter c("test.counter", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c += 8;
+    EXPECT_EQ(c.value(), 50u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.name(), "test.counter");
+    EXPECT_EQ(c.desc(), "a counter");
+}
+
+TEST(DistributionTest, BasicMoments)
+{
+    Distribution d("d", "desc");
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.sum(), 60u);
+    EXPECT_EQ(d.minValue(), 10u);
+    EXPECT_EQ(d.maxValue(), 30u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+}
+
+TEST(DistributionTest, EmptyMeanIsZero)
+{
+    Distribution d("d", "desc");
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(DistributionTest, HistogramBuckets)
+{
+    Distribution d("d", "desc", 10, 4); // buckets [0,10) [10,20) ...
+    d.sample(0);
+    d.sample(9);
+    d.sample(10);
+    d.sample(39);
+    d.sample(40); // overflow
+    d.sample(1000);
+    ASSERT_EQ(d.buckets().size(), 4u);
+    EXPECT_EQ(d.buckets()[0], 2u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.buckets()[3], 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+}
+
+TEST(DistributionTest, ResetClearsEverything)
+{
+    Distribution d("d", "desc", 5, 2);
+    d.sample(3);
+    d.sample(100);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+    EXPECT_EQ(d.buckets()[0], 0u);
+}
+
+TEST(RegistryTest, AddAndFind)
+{
+    StatRegistry reg;
+    Counter c("x.count", "desc");
+    Distribution d("x.dist", "desc");
+    reg.add(c);
+    reg.add(d);
+    EXPECT_EQ(reg.findCounter("x.count"), &c);
+    EXPECT_EQ(reg.findCounter("missing"), nullptr);
+    EXPECT_EQ(reg.findDistribution("x.dist"), &d);
+    EXPECT_EQ(reg.findDistribution("x.count"), nullptr);
+}
+
+TEST(RegistryTest, MakeCounterOwnsStorage)
+{
+    StatRegistry reg;
+    Counter &c = reg.makeCounter("owned.counter", "desc");
+    c.inc(5);
+    EXPECT_EQ(reg.findCounter("owned.counter")->value(), 5u);
+}
+
+TEST(RegistryTest, ResetAll)
+{
+    StatRegistry reg;
+    Counter c("c", "d");
+    Distribution d("dd", "d");
+    c.inc(3);
+    d.sample(7);
+    reg.add(c);
+    reg.add(d);
+    reg.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(RegistryTest, DumpContainsEntries)
+{
+    StatRegistry reg;
+    Counter c("alpha.count", "the alpha counter");
+    c.inc(99);
+    reg.add(c);
+    std::ostringstream out;
+    reg.dump(out);
+    EXPECT_NE(out.str().find("alpha.count"), std::string::npos);
+    EXPECT_NE(out.str().find("99"), std::string::npos);
+}
+
+TEST(TextTableTest, AlignedOutput)
+{
+    TextTable t("My Table");
+    t.setHeader({"Name", "Value"});
+    t.addRow({"workload-with-long-name", "1.23"});
+    t.addRow({"w", "45.60"});
+    std::ostringstream out;
+    t.print(out);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("My Table"), std::string::npos);
+    EXPECT_NE(s.find("workload-with-long-name"), std::string::npos);
+    EXPECT_NE(s.find("45.60"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTableTest, CellFormatting)
+{
+    EXPECT_EQ(TextTable::cell(1.234567, 2), "1.23");
+    EXPECT_EQ(TextTable::cell(1.5, 0), "2");
+    EXPECT_EQ(TextTable::cell(std::uint64_t{42}), "42");
+}
+
+} // namespace
+} // namespace cameo

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the binary trace format (record/replay) and the
+ * System source-factory hook that plugs trace replay into simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "system/system.hh"
+#include "trace/generator.hh"
+#include "trace/trace_file.hh"
+
+namespace cameo
+{
+namespace
+{
+
+/** Temporary file that cleans up after itself. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : path_((std::filesystem::temp_directory_path() / name).string())
+    {
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+GeneratorParams
+smallParams()
+{
+    GeneratorParams gp;
+    gp.footprintBytes = 256 << 12;
+    gp.hotSetBytes = 8 << 10;
+    gp.gapMeanInstructions = 20.0;
+    return gp;
+}
+
+TEST(TraceFileTest, RoundTripPreservesRecords)
+{
+    TempFile file("cameo_test_roundtrip.trc");
+    const WorkloadProfile &wl = *findWorkload("gcc");
+    SyntheticGenerator gen(wl, smallParams(), 42);
+
+    // Record, then replay against a fresh identical generator.
+    std::vector<Access> expected;
+    {
+        TraceWriter writer(file.path());
+        ASSERT_TRUE(writer.good());
+        SyntheticGenerator src(wl, smallParams(), 42);
+        for (int i = 0; i < 5000; ++i) {
+            const Access a = src.next();
+            expected.push_back(a);
+            writer.append(a);
+        }
+        writer.close();
+        ASSERT_TRUE(writer.good());
+        EXPECT_EQ(writer.recordsWritten(), 5000u);
+    }
+
+    TraceReader reader(file.path());
+    ASSERT_EQ(reader.size(), 5000u);
+    for (const Access &want : expected) {
+        const Access got = reader.next();
+        ASSERT_EQ(got.pc, want.pc);
+        ASSERT_EQ(got.vaddr, want.vaddr);
+        ASSERT_EQ(got.gapInstructions, want.gapInstructions);
+        ASSERT_EQ(got.isWrite, want.isWrite);
+        ASSERT_EQ(got.dependsOnPrev, want.dependsOnPrev);
+    }
+}
+
+TEST(TraceFileTest, ReaderWrapsAround)
+{
+    TempFile file("cameo_test_wrap.trc");
+    {
+        TraceWriter writer(file.path());
+        Access a;
+        a.pc = 0x1000;
+        a.vaddr = 0x2000;
+        writer.append(a);
+        a.vaddr = 0x3000;
+        writer.append(a);
+    }
+    TraceReader reader(file.path());
+    EXPECT_EQ(reader.next().vaddr, 0x2000u);
+    EXPECT_EQ(reader.next().vaddr, 0x3000u);
+    EXPECT_EQ(reader.next().vaddr, 0x2000u); // wrapped
+    reader.rewind();
+    EXPECT_EQ(reader.next().vaddr, 0x2000u);
+}
+
+TEST(TraceFileTest, RecordTraceHelper)
+{
+    TempFile file("cameo_test_helper.trc");
+    const WorkloadProfile &wl = *findWorkload("milc");
+    SyntheticGenerator gen(wl, smallParams(), 7);
+    EXPECT_EQ(recordTrace(gen, file.path(), 1234), 1234u);
+    TraceReader reader(file.path());
+    EXPECT_EQ(reader.size(), 1234u);
+}
+
+TEST(TraceFileTest, RejectsGarbage)
+{
+    TempFile file("cameo_test_garbage.trc");
+    {
+        std::ofstream out(file.path(), std::ios::binary);
+        out << "this is not a trace file at all, not even close";
+    }
+    EXPECT_THROW(TraceReader reader(file.path()), std::runtime_error);
+}
+
+TEST(TraceFileTest, RejectsMissingFile)
+{
+    EXPECT_THROW(TraceReader reader("/nonexistent/path/x.trc"),
+                 std::runtime_error);
+}
+
+TEST(TraceFileTest, RejectsTruncation)
+{
+    TempFile file("cameo_test_trunc.trc");
+    {
+        TraceWriter writer(file.path());
+        Access a;
+        for (int i = 0; i < 100; ++i)
+            writer.append(a);
+    }
+    // Chop the last record in half.
+    std::filesystem::resize_file(
+        file.path(), std::filesystem::file_size(file.path()) - 10);
+    EXPECT_THROW(TraceReader reader(file.path()), std::runtime_error);
+}
+
+TEST(TraceReplayTest, ReplayedSystemMatchesSyntheticRun)
+{
+    // Record each core's synthetic stream, then run the same system
+    // from the trace files: results must be identical (the replay path
+    // is bit-exact).
+    SystemConfig config = tinyConfig();
+    config.accessesPerCore = 6000;
+    const WorkloadProfile &wl = *findWorkload("soplex");
+    const RunResult direct = runWorkload(config, OrgKind::Cameo, wl);
+
+    // Record per-core traces using the same seeding the System uses.
+    std::vector<std::string> paths;
+    SystemConfig recording = config;
+    recording.sourceFactory =
+        [&paths](std::uint32_t core, const WorkloadProfile &profile,
+                 const GeneratorParams &params, std::uint64_t seed)
+        -> std::unique_ptr<AccessSource> {
+        auto gen = std::make_unique<SyntheticGenerator>(profile, params,
+                                                        seed);
+        const std::string path =
+            (std::filesystem::temp_directory_path() /
+             ("cameo_replay_" + std::to_string(core) + ".trc"))
+                .string();
+        recordTrace(*gen, path, 6000);
+        paths.push_back(path);
+        return std::make_unique<TraceReader>(path);
+    };
+    const RunResult replayed =
+        runWorkload(recording, OrgKind::Cameo, wl);
+
+    EXPECT_EQ(replayed.execTime, direct.execTime);
+    EXPECT_EQ(replayed.stackedBytes, direct.stackedBytes);
+    EXPECT_EQ(replayed.offchipBytes, direct.offchipBytes);
+    EXPECT_EQ(replayed.llpCases, direct.llpCases);
+
+    for (const auto &p : paths)
+        std::remove(p.c_str());
+}
+
+} // namespace
+} // namespace cameo

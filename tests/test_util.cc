@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for the util library: bit operations, RNG determinism and
+ * distributions, and the reporting math helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/math.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+namespace
+{
+
+TEST(BitopsTest, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitopsTest, Log2Family)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(exactLog2(1ull << 17), 17u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1ull);
+    EXPECT_EQ(nextPowerOfTwo(3), 4ull);
+    EXPECT_EQ(nextPowerOfTwo(1024), 1024ull);
+}
+
+TEST(BitopsTest, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xABCD, 0, 4), 0xDull);
+    EXPECT_EQ(bits(0xABCD, 4, 4), 0xCull);
+    EXPECT_EQ(bits(0xABCD, 8, 8), 0xABull);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(BitopsTest, DivCeilAndAlign)
+{
+    EXPECT_EQ(divCeil(0, 4), 0ull);
+    EXPECT_EQ(divCeil(1, 4), 1ull);
+    EXPECT_EQ(divCeil(4, 4), 1ull);
+    EXPECT_EQ(divCeil(5, 4), 2ull);
+    EXPECT_EQ(alignUp(0, 8), 0ull);
+    EXPECT_EQ(alignUp(1, 8), 8ull);
+    EXPECT_EQ(alignUp(8, 8), 8ull);
+    EXPECT_EQ(alignUp(9, 8), 16ull);
+}
+
+TEST(BitopsTest, Mix64SpreadsBits)
+{
+    // Nearby inputs should produce well-separated outputs.
+    std::vector<std::uint64_t> outs;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        outs.push_back(mix64(i) % 256);
+    std::sort(outs.begin(), outs.end());
+    const auto distinct =
+        std::unique(outs.begin(), outs.end()) - outs.begin();
+    EXPECT_GE(distinct, 48); // near-uniform spread over 256 buckets
+}
+
+TEST(TypesTest, AddressConversions)
+{
+    const Addr addr = 0x12345678;
+    EXPECT_EQ(lineOf(addr), addr >> 6);
+    EXPECT_EQ(pageOf(addr), addr >> 12);
+    EXPECT_EQ(lineToAddr(lineOf(addr)) >> 6, addr >> 6);
+    EXPECT_EQ(pageToLine(1), kLinesPerPage);
+    EXPECT_EQ(lineToPage(kLinesPerPage), 1ull);
+    EXPECT_EQ(kLinesPerPage, 64ull);
+}
+
+TEST(RngTest, DeterministicAcrossInstances)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000003ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next(bound), bound);
+    }
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(8);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= (v == 5);
+        saw_hi |= (v == 8);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(10);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GeometricMeanApproximatesTarget)
+{
+    Rng rng(12);
+    for (double mean : {2.0, 10.0, 50.0}) {
+        double sum = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            sum += static_cast<double>(rng.geometric(mean));
+        EXPECT_NEAR(sum / n, mean, mean * 0.1);
+    }
+}
+
+TEST(RngTest, GeometricAtLeastOne)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.geometric(0.1), 1ull);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero)
+{
+    Rng rng(14);
+    ZipfSampler zipf(10, 0.0);
+    std::array<int, 10> counts{};
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(ZipfTest, SkewedWhenExponentHigh)
+{
+    Rng rng(15);
+    ZipfSampler zipf(100, 1.2);
+    std::array<int, 100> counts{};
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf(rng)];
+    // Rank 0 must dominate rank 50 heavily.
+    EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(ZipfTest, AllDrawsInRange)
+{
+    Rng rng(16);
+    ZipfSampler zipf(7, 0.9);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(zipf(rng), 7ull);
+}
+
+TEST(MathTest, GeometricMeanBasics)
+{
+    const std::vector<double> v{1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geometricMean(v), 2.0);
+    EXPECT_DOUBLE_EQ(geometricMean(std::vector<double>{}), 0.0);
+    const std::vector<double> ones{1.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(geometricMean(ones), 1.0);
+}
+
+TEST(MathTest, ArithmeticMean)
+{
+    const std::vector<double> v{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(arithmeticMean(v), 2.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean(std::vector<double>{}), 0.0);
+}
+
+TEST(MathTest, SpeedupAndImprovement)
+{
+    EXPECT_DOUBLE_EQ(speedup(200.0, 100.0), 2.0);
+    EXPECT_DOUBLE_EQ(speedup(100.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(improvementPercent(1.78), 78.0);
+    EXPECT_NEAR(improvementPercent(speedup(150.0, 100.0)), 50.0, 1e-9);
+}
+
+} // namespace
+} // namespace cameo

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the virtual-memory subsystem: frame allocation with
+ * the paper's clock replacement, page tables, the SSD model, and the
+ * demand-paging facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vm/frame_allocator.hh"
+#include "vm/page_table.hh"
+#include "vm/ssd_model.hh"
+#include "vm/virtual_memory.hh"
+
+namespace cameo
+{
+namespace
+{
+
+TEST(FrameAllocatorTest, HandsOutAllFramesBeforeEvicting)
+{
+    FrameAllocator alloc(16, 1);
+    std::set<std::uint32_t> frames;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        const FrameAllocation a = alloc.allocate(0, i);
+        EXPECT_FALSE(a.evicted.has_value());
+        frames.insert(a.frame);
+    }
+    EXPECT_EQ(frames.size(), 16u);
+    EXPECT_EQ(alloc.freeFrames(), 0u);
+    EXPECT_EQ(alloc.evictions().value(), 0u);
+}
+
+TEST(FrameAllocatorTest, EvictsWhenFull)
+{
+    FrameAllocator alloc(4, 2);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        alloc.allocate(0, i);
+    const FrameAllocation a = alloc.allocate(0, 99);
+    ASSERT_TRUE(a.evicted.has_value());
+    EXPECT_EQ(a.evicted->core, 0u);
+    EXPECT_LT(a.evicted->vpage, 4u);
+    EXPECT_EQ(alloc.evictions().value(), 1u);
+}
+
+TEST(FrameAllocatorTest, DirtyBitReportedOnEviction)
+{
+    FrameAllocator alloc(2, 3);
+    const auto a0 = alloc.allocate(0, 0);
+    alloc.allocate(0, 1);
+    alloc.markDirty(a0.frame);
+    // Evict until we hit page 0's frame.
+    bool saw_dirty = false;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        const auto a = alloc.allocate(0, 100 + i);
+        if (a.evicted && a.evicted->vpage == 0)
+            saw_dirty = a.evictedDirty;
+    }
+    EXPECT_TRUE(saw_dirty);
+}
+
+TEST(FrameAllocatorTest, RandomizedFreeOrder)
+{
+    // The shuffled free list is what gives TLM-Static its random
+    // placement: the first few frames must not be 0,1,2,...
+    FrameAllocator alloc(1024, 7);
+    std::vector<std::uint32_t> order;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        order.push_back(alloc.allocate(0, i).frame);
+    const std::vector<std::uint32_t> identity{0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_NE(order, identity);
+}
+
+TEST(FrameAllocatorTest, ReferenceBitsSteerVictims)
+{
+    FrameAllocator alloc(8, 5);
+    std::vector<std::uint32_t> frames;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        frames.push_back(alloc.allocate(0, i).frame);
+    // Touch all but page 3's frame repeatedly; victims should be
+    // biased towards untouched frames once the clock clears bits.
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint32_t i = 0; i < 8; ++i) {
+            if (i != 3)
+                alloc.touch(frames[i]);
+        }
+        alloc.allocate(0, 100 + round);
+    }
+    EXPECT_EQ(alloc.evictions().value(), 3u);
+    EXPECT_EQ(alloc.randomProbeHits().value() +
+                  alloc.clockSweeps().value(),
+              3u);
+}
+
+TEST(FrameAllocatorTest, OwnerTracking)
+{
+    FrameAllocator alloc(4, 9);
+    const auto a = alloc.allocate(3, 0x42);
+    const auto owner = alloc.ownerOf(a.frame);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(owner->core, 3u);
+    EXPECT_EQ(owner->vpage, 0x42u);
+}
+
+TEST(PageTableTest, MapLookupUnmap)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.lookup(0, 5).has_value());
+    pt.map(0, 5, 17);
+    ASSERT_TRUE(pt.lookup(0, 5).has_value());
+    EXPECT_EQ(*pt.lookup(0, 5), 17u);
+    pt.unmap(0, 5);
+    EXPECT_FALSE(pt.lookup(0, 5).has_value());
+}
+
+TEST(PageTableTest, PerCoreSpacesDisjoint)
+{
+    PageTable pt;
+    pt.map(0, 5, 1);
+    pt.map(1, 5, 2);
+    EXPECT_EQ(*pt.lookup(0, 5), 1u);
+    EXPECT_EQ(*pt.lookup(1, 5), 2u);
+}
+
+TEST(PageTableTest, EvictionHistoryForMajorFaults)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.wasEvicted(0, 5));
+    pt.map(0, 5, 1);
+    pt.unmap(0, 5);
+    EXPECT_TRUE(pt.wasEvicted(0, 5));
+    EXPECT_FALSE(pt.wasEvicted(1, 5));
+}
+
+TEST(SsdModelTest, FixedFaultLatency)
+{
+    SsdModel ssd(100000);
+    EXPECT_EQ(ssd.readPage(500), 100500u);
+    EXPECT_EQ(ssd.pageReads().value(), 1u);
+    EXPECT_EQ(ssd.readBytes().value(), kPageBytes);
+}
+
+TEST(SsdModelTest, WritesAreAsynchronousBytes)
+{
+    SsdModel ssd;
+    ssd.writePage();
+    ssd.writePage();
+    EXPECT_EQ(ssd.writeBytes().value(), 2 * kPageBytes);
+    EXPECT_EQ(ssd.bytesTransferred(), 2 * kPageBytes);
+}
+
+TEST(VirtualMemoryTest, FirstTouchIsMinorFault)
+{
+    VirtualMemory vm(16 * kPageBytes, 100000, 1);
+    const Translation t = vm.translate(10, 0, 7, false);
+    EXPECT_TRUE(t.minorFault);
+    EXPECT_FALSE(t.majorFault);
+    EXPECT_EQ(t.readyTick, 10u);
+    EXPECT_EQ(vm.minorFaults().value(), 1u);
+}
+
+TEST(VirtualMemoryTest, ResidentPageNoFault)
+{
+    VirtualMemory vm(16 * kPageBytes, 100000, 1);
+    vm.translate(10, 0, 7, false);
+    const Translation t = vm.translate(20, 0, 7, false);
+    EXPECT_FALSE(t.minorFault);
+    EXPECT_FALSE(t.majorFault);
+}
+
+TEST(VirtualMemoryTest, RefaultAfterEvictionIsMajor)
+{
+    VirtualMemory vm(4 * kPageBytes, 100000, 1);
+    // Fill memory and keep touching new pages until page 0 is evicted.
+    vm.translate(0, 0, 0, false);
+    PageAddr next = 1;
+    while (vm.pageTable().lookup(0, 0).has_value())
+        vm.translate(0, 0, next++, false);
+    const Translation t = vm.translate(1000, 0, 0, false);
+    EXPECT_TRUE(t.majorFault);
+    EXPECT_EQ(t.readyTick, 1000u + 100000u);
+    EXPECT_GE(vm.majorFaults().value(), 1u);
+}
+
+TEST(VirtualMemoryTest, DirtyEvictionWritesToStorage)
+{
+    VirtualMemory vm(2 * kPageBytes, 100000, 1);
+    vm.translate(0, 0, 0, true); // dirty page 0
+    vm.translate(0, 0, 1, true);
+    // Force evictions.
+    for (PageAddr p = 2; p < 12; ++p)
+        vm.translate(0, 0, p, false);
+    EXPECT_GT(vm.ssd().pageWrites().value(), 0u);
+}
+
+TEST(VirtualMemoryTest, MapHookFires)
+{
+    VirtualMemory vm(8 * kPageBytes, 100000, 1);
+    int calls = 0;
+    std::uint32_t last_core = 99;
+    PageAddr last_vpage = 0;
+    vm.setMapHook([&](std::uint32_t, std::uint32_t core, PageAddr vp) {
+        ++calls;
+        last_core = core;
+        last_vpage = vp;
+    });
+    vm.translate(0, 2, 0x33, false);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(last_core, 2u);
+    EXPECT_EQ(last_vpage, 0x33u);
+    // Resident page: no new mapping, no hook.
+    vm.translate(0, 2, 0x33, false);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(VirtualMemoryTest, FrameCountFromVisibleBytes)
+{
+    VirtualMemory vm(24ull << 20, 100000, 1);
+    EXPECT_EQ(vm.numFrames(), (24ull << 20) / kPageBytes);
+    EXPECT_EQ(vm.visibleBytes(), 24ull << 20);
+}
+
+} // namespace
+} // namespace cameo
