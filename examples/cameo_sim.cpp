@@ -13,6 +13,7 @@
  *                 tlm-oracle|doubleuse|cameo|cameo-freq   (default cameo)
  *   --workload    Table II benchmark name                  (default milc)
  *   --accesses    L3-level accesses per core               (default 200000)
+ *   --max-steps   kernel step limit, 0 = unlimited         (default 0)
  *   --cores       number of cores                          (default 8)
  *   --stacked-mb  stacked DRAM capacity in MB              (default 8)
  *   --offchip-mb  off-chip DRAM capacity in MB             (default 24)
@@ -94,6 +95,7 @@ main(int argc, char **argv)
 
     SystemConfig config = defaultConfig();
     config.accessesPerCore = cli.getUint("accesses", 200'000);
+    config.maxKernelSteps = cli.getUint("max-steps", 0);
     config.numCores =
         static_cast<std::uint32_t>(cli.getUint("cores", config.numCores));
     config.stackedBytes = cli.getUint("stacked-mb", 8) << 20;
@@ -151,6 +153,13 @@ main(int argc, char **argv)
 
     System system(config, kind, *profile);
     const RunResult r = system.run();
+
+    if (r.truncated) {
+        std::cerr << "warning: run truncated at --max-steps="
+                  << config.maxKernelSteps << " (" << r.kernelSteps
+                  << " steps executed); execTime and all statistics "
+                     "understate the full run\n";
+    }
 
     if (json) {
         system.stats().dumpJson(std::cout);

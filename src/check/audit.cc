@@ -1,0 +1,44 @@
+#include "check/audit.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cameo
+{
+
+AuditSink::AuditSink()
+{
+    const char *abort_env = std::getenv("CAMEO_AUDIT_ABORT");
+    abortOnFailure_ = abort_env != nullptr && abort_env[0] != '\0';
+}
+
+AuditSink &
+AuditSink::global()
+{
+    static AuditSink sink;
+    return sink;
+}
+
+void
+AuditSink::fail(const char *file, int line, const std::string &msg)
+{
+    ++failures_;
+    if (firstFailure_.empty()) {
+        firstFailure_ =
+            std::string(file) + ":" + std::to_string(line) + ": " + msg;
+    }
+    if (abortOnFailure_) {
+        std::cerr << "CAMEO_AUDIT failure: " << file << ":" << line << ": "
+                  << msg << "\n";
+        std::abort();
+    }
+}
+
+void
+AuditSink::reset()
+{
+    failures_ = 0;
+    firstFailure_.clear();
+}
+
+} // namespace cameo

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Runtime invariant auditing: the CAMEO_AUDIT macro and its sink.
+ *
+ * The simulator's correctness rests on invariants the paper states but
+ * a release build never re-checks (NDEBUG strips the asserts): LLT
+ * entries stay permutations, DRAM commands respect the bank protocol,
+ * simulated time never runs backwards. The audit layer makes those
+ * machine-checked at full simulation speed when wanted and free when
+ * not:
+ *
+ *  - `CAMEO_AUDIT(cond, msg)` evaluates @p cond and reports a failure
+ *    to the global AuditSink. It compiles to nothing unless the build
+ *    sets the `CAMEO_AUDIT` CMake option (which defines
+ *    CAMEO_AUDIT_ENABLED=1 for every target), so hot paths can be
+ *    instrumented without a release-speed tax.
+ *
+ *  - AuditSink collects failures: a total count, the first failure's
+ *    location and message (the later ones are usually cascade noise),
+ *    and an optional abort-on-failure mode for runs that should die
+ *    loudly (the sanitizer CI job). The concrete auditors in this
+ *    directory (LltAuditor, DramProtocolAuditor, KernelAuditor,
+ *    StatAuditor) report through the sink unconditionally, so explicit
+ *    on-demand audits work in every build; only the inline hot-path
+ *    instrumentation is compiled out.
+ *
+ * The sink is a process-wide singleton on purpose: audits fire from
+ * deep inside subsystems that have no registry to hand, and the
+ * simulator is single-threaded per process (benches run configurations
+ * sequentially). Tests reset it between cases.
+ */
+
+#ifndef CAMEO_CHECK_AUDIT_HH
+#define CAMEO_CHECK_AUDIT_HH
+
+#include <cstdint>
+#include <string>
+
+#ifndef CAMEO_AUDIT_ENABLED
+#define CAMEO_AUDIT_ENABLED 0
+#endif
+
+namespace cameo
+{
+
+/** True when hot-path CAMEO_AUDIT checks are compiled in. */
+inline constexpr bool kAuditEnabled = CAMEO_AUDIT_ENABLED != 0;
+
+/** Collects audit failures for one process. */
+class AuditSink
+{
+  public:
+    /** The process-wide sink. */
+    static AuditSink &global();
+
+    /**
+     * Record one failed audit. Aborts the process instead when
+     * abort-on-failure is set (after printing the failure to stderr).
+     */
+    void fail(const char *file, int line, const std::string &msg);
+
+    /** Total failures recorded since the last reset. */
+    std::uint64_t failures() const { return failures_; }
+
+    /** "file:line: msg" of the first failure; empty if none. */
+    const std::string &firstFailure() const { return firstFailure_; }
+
+    /**
+     * Die (std::abort) on the next failure. Useful under sanitizers,
+     * where an immediate abort pins the failing stack. Also enabled by
+     * the CAMEO_AUDIT_ABORT environment variable (any non-empty value).
+     */
+    void setAbortOnFailure(bool abort_on_failure)
+    {
+        abortOnFailure_ = abort_on_failure;
+    }
+
+    bool abortOnFailure() const { return abortOnFailure_; }
+
+    /** Clear counts and the captured first failure. */
+    void reset();
+
+  private:
+    AuditSink();
+
+    std::uint64_t failures_ = 0;
+    std::string firstFailure_;
+    bool abortOnFailure_ = false;
+};
+
+} // namespace cameo
+
+/**
+ * Check an invariant on a hot path. Compiled out (condition not even
+ * evaluated) unless the CAMEO_AUDIT build option is ON.
+ */
+#if CAMEO_AUDIT_ENABLED
+#define CAMEO_AUDIT(cond, msg)                                               \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::cameo::AuditSink::global().fail(__FILE__, __LINE__, (msg));    \
+    } while (false)
+#else
+#define CAMEO_AUDIT(cond, msg) static_cast<void>(0)
+#endif
+
+#endif // CAMEO_CHECK_AUDIT_HH

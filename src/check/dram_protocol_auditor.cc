@@ -1,0 +1,113 @@
+#include "check/dram_protocol_auditor.hh"
+
+#include <cassert>
+
+namespace cameo
+{
+
+DramProtocolAuditor::DramProtocolAuditor(std::string name,
+                                         std::uint32_t channels,
+                                         std::uint32_t banks,
+                                         const DramProtocolParams &params)
+    : name_(std::move(name)), channels_(channels), banksPerChannel_(banks),
+      params_(params)
+{
+    assert(channels_ != 0 && banksPerChannel_ != 0);
+    banks_.resize(std::size_t{channels_} * banksPerChannel_);
+}
+
+DramProtocolAuditor::BankState &
+DramProtocolAuditor::bankAt(std::uint32_t channel, std::uint32_t bank)
+{
+    assert(channel < channels_ && bank < banksPerChannel_);
+    return banks_[std::size_t{channel} * banksPerChannel_ + bank];
+}
+
+void
+DramProtocolAuditor::report(std::uint32_t channel, std::uint32_t bank,
+                            const std::string &what)
+{
+    ++violations_;
+    AuditSink::global().fail(__FILE__, __LINE__,
+                             name_ + " ch" + std::to_string(channel) +
+                                 " bank" + std::to_string(bank) + ": " +
+                                 what);
+}
+
+void
+DramProtocolAuditor::onActivate(std::uint32_t channel, std::uint32_t bank,
+                                std::uint64_t row, Tick tick)
+{
+    BankState &b = bankAt(channel, bank);
+    ++commandsChecked_;
+    if (b.openRow != BankState::kNoRow) {
+        report(channel, bank,
+               "ACT while row " + std::to_string(b.openRow) +
+                   " is still open");
+    }
+    if (b.everPrecharged && tick < b.lastPrecharge + params_.rpCycles) {
+        report(channel, bank,
+               "ACT at " + std::to_string(tick) + " violates tRP (PRE at " +
+                   std::to_string(b.lastPrecharge) + ")");
+    }
+    if (b.everActivated && tick < b.lastActivate + params_.rcCycles()) {
+        report(channel, bank,
+               "ACT at " + std::to_string(tick) +
+                   " violates tRC (previous ACT at " +
+                   std::to_string(b.lastActivate) + ")");
+    }
+    b.openRow = row;
+    b.lastActivate = tick;
+    b.everActivated = true;
+}
+
+void
+DramProtocolAuditor::onPrecharge(std::uint32_t channel, std::uint32_t bank,
+                                 Tick tick)
+{
+    BankState &b = bankAt(channel, bank);
+    ++commandsChecked_;
+    if (b.openRow == BankState::kNoRow)
+        report(channel, bank, "PRE on an already-precharged bank");
+    if (b.everActivated && tick < b.lastActivate + params_.rasCycles) {
+        report(channel, bank,
+               "PRE at " + std::to_string(tick) +
+                   " violates tRAS (ACT at " +
+                   std::to_string(b.lastActivate) + ")");
+    }
+    b.openRow = BankState::kNoRow;
+    b.lastPrecharge = tick;
+    b.everPrecharged = true;
+}
+
+void
+DramProtocolAuditor::onColumn(std::uint32_t channel, std::uint32_t bank,
+                              std::uint64_t row, Tick tick)
+{
+    BankState &b = bankAt(channel, bank);
+    ++commandsChecked_;
+    if (b.openRow != row) {
+        report(channel, bank,
+               "CAS to row " + std::to_string(row) + " but open row is " +
+                   (b.openRow == BankState::kNoRow
+                        ? std::string("none")
+                        : std::to_string(b.openRow)));
+    }
+    if (b.everActivated && tick < b.lastActivate + params_.rcdCycles) {
+        report(channel, bank,
+               "CAS at " + std::to_string(tick) +
+                   " violates tRCD (ACT at " +
+                   std::to_string(b.lastActivate) + ")");
+    }
+}
+
+void
+DramProtocolAuditor::reset()
+{
+    for (BankState &b : banks_)
+        b = BankState{};
+    commandsChecked_ = 0;
+    violations_ = 0;
+}
+
+} // namespace cameo

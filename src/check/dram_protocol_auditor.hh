@@ -1,0 +1,113 @@
+/**
+ * @file
+ * DramProtocolAuditor: per-bank command-legality checking.
+ *
+ * DramModule is a reservation model, not a command-level controller, so
+ * a timing bug (a precharge issued before tRAS, a column read to a row
+ * that is not open) would not crash anything — it would just quietly
+ * produce latencies a real device cannot achieve. The auditor shadows
+ * every bank with the row-buffer state machine of a real DRAM device
+ * and validates the command stream the model implies:
+ *
+ *  - ACT only on a precharged bank, no earlier than tRP after the last
+ *    precharge and tRC (= tRAS + tRP) after the last activate;
+ *  - PRE only on an open bank, no earlier than tRAS after its activate;
+ *  - CAS (column access) only to the currently open row, no earlier
+ *    than tRCD after the activate that opened it.
+ *
+ * All times are CPU cycles (the unit DramModule computes in). The
+ * auditor is deliberately independent of the dram library: it is
+ * configured with plain integers so a shared arithmetic bug cannot hide
+ * a violation, and so tests can drive it with hand-written sequences.
+ */
+
+#ifndef CAMEO_CHECK_DRAM_PROTOCOL_AUDITOR_HH
+#define CAMEO_CHECK_DRAM_PROTOCOL_AUDITOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/audit.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Timing windows the auditor enforces, in CPU cycles. */
+struct DramProtocolParams
+{
+    Tick rcdCycles = 0; ///< ACT-to-CAS minimum.
+    Tick rasCycles = 0; ///< ACT-to-PRE minimum.
+    Tick rpCycles = 0;  ///< PRE-to-ACT minimum.
+
+    /** ACT-to-ACT minimum on one bank (tRC). */
+    Tick rcCycles() const { return rasCycles + rpCycles; }
+};
+
+/** Shadow row-buffer state machine for every bank of one device. */
+class DramProtocolAuditor
+{
+  public:
+    /**
+     * @param name     Device name used in failure messages.
+     * @param channels Channel count.
+     * @param banks    Banks per channel.
+     * @param params   Timing windows in CPU cycles.
+     */
+    DramProtocolAuditor(std::string name, std::uint32_t channels,
+                        std::uint32_t banks,
+                        const DramProtocolParams &params);
+
+    /** Validate and apply an activate of @p row at @p tick. */
+    void onActivate(std::uint32_t channel, std::uint32_t bank,
+                    std::uint64_t row, Tick tick);
+
+    /** Validate and apply a precharge at @p tick. */
+    void onPrecharge(std::uint32_t channel, std::uint32_t bank, Tick tick);
+
+    /** Validate a column access (read/write CAS) to @p row at @p tick. */
+    void onColumn(std::uint32_t channel, std::uint32_t bank,
+                  std::uint64_t row, Tick tick);
+
+    /** Commands validated since construction or reset. */
+    std::uint64_t commandsChecked() const { return commandsChecked_; }
+
+    /** Violations reported since construction or reset. */
+    std::uint64_t violations() const { return violations_; }
+
+    /** Forget all bank state (mirrors DramModule::reset). */
+    void reset();
+
+  private:
+    /** Shadow state of one bank. */
+    struct BankState
+    {
+        static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+
+        std::uint64_t openRow = kNoRow;
+        Tick lastActivate = 0;
+        Tick lastPrecharge = 0;
+        bool everActivated = false;
+        bool everPrecharged = false;
+    };
+
+    BankState &bankAt(std::uint32_t channel, std::uint32_t bank);
+
+    /** Report one violation for (channel, bank) to the sink. */
+    void report(std::uint32_t channel, std::uint32_t bank,
+                const std::string &what);
+
+    std::string name_;
+    std::uint32_t channels_;
+    std::uint32_t banksPerChannel_;
+    DramProtocolParams params_;
+    std::vector<BankState> banks_;
+
+    std::uint64_t commandsChecked_ = 0;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_CHECK_DRAM_PROTOCOL_AUDITOR_HH

@@ -1,0 +1,60 @@
+#include "check/kernel_auditor.hh"
+
+#include <string>
+
+namespace cameo
+{
+
+void
+KernelAuditor::report(const std::string &what)
+{
+    ++violations_;
+    AuditSink::global().fail(__FILE__, __LINE__, what);
+}
+
+void
+KernelAuditor::onDispatch(std::size_t agent_idx, Tick tick)
+{
+    ++dispatches_;
+    if (dispatched_ && tick < lastDispatchTick_) {
+        report("SimKernel dispatched agent " + std::to_string(agent_idx) +
+               " at " + std::to_string(tick) +
+               ", regressing global time from " +
+               std::to_string(lastDispatchTick_));
+    }
+    lastDispatchTick_ = tick;
+    dispatched_ = true;
+    if (agent_idx >= lastAgentTick_.size())
+        lastAgentTick_.resize(agent_idx + 1, 0);
+    if (tick < lastAgentTick_[agent_idx]) {
+        report("agent " + std::to_string(agent_idx) +
+               " dispatched at " + std::to_string(tick) +
+               ", before its last known local time " +
+               std::to_string(lastAgentTick_[agent_idx]));
+    }
+}
+
+void
+KernelAuditor::onStepped(std::size_t agent_idx, Tick before, Tick after)
+{
+    if (after < before) {
+        report("agent " + std::to_string(agent_idx) +
+               " stepped its local clock backwards: " +
+               std::to_string(before) + " -> " + std::to_string(after));
+    }
+    if (agent_idx >= lastAgentTick_.size())
+        lastAgentTick_.resize(agent_idx + 1, 0);
+    lastAgentTick_[agent_idx] = after;
+}
+
+void
+KernelAuditor::reset()
+{
+    lastDispatchTick_ = 0;
+    dispatched_ = false;
+    lastAgentTick_.clear();
+    dispatches_ = 0;
+    violations_ = 0;
+}
+
+} // namespace cameo

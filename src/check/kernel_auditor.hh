@@ -1,0 +1,69 @@
+/**
+ * @file
+ * KernelAuditor: simulated-time sanity for the SimKernel event loop.
+ *
+ * The kernel's correctness contract is temporal: the lazy-update heap
+ * must dispatch agents in nondecreasing global-time order, and an agent
+ * that steps must never move its local clock backwards (a regressing
+ * clock makes the same agent the heap minimum forever and silently
+ * reorders memory traffic). Neither property is checked anywhere —
+ * a buggy Agent implementation would just produce subtly wrong
+ * interleavings. The auditor tracks the last dispatched global tick and
+ * each agent's last observed local tick and reports regressions to the
+ * AuditSink.
+ */
+
+#ifndef CAMEO_CHECK_KERNEL_AUDITOR_HH
+#define CAMEO_CHECK_KERNEL_AUDITOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "check/audit.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Monotonicity auditor for one SimKernel run. */
+class KernelAuditor
+{
+  public:
+    KernelAuditor() = default;
+
+    /**
+     * The kernel is about to step @p agent_idx at global time @p tick.
+     * Reports when @p tick regresses below the previous dispatch.
+     */
+    void onDispatch(std::size_t agent_idx, Tick tick);
+
+    /**
+     * Agent @p agent_idx finished a step: its clock moved from
+     * @p before to @p after. Reports when the clock went backwards.
+     */
+    void onStepped(std::size_t agent_idx, Tick before, Tick after);
+
+    /** Dispatches observed since construction or reset. */
+    std::uint64_t dispatches() const { return dispatches_; }
+
+    /** Violations reported since construction or reset. */
+    std::uint64_t violations() const { return violations_; }
+
+    /** Forget all history (start of a new run). */
+    void reset();
+
+  private:
+    /** Report one violation to the sink. */
+    void report(const std::string &what);
+
+    Tick lastDispatchTick_ = 0;
+    bool dispatched_ = false;
+    std::vector<Tick> lastAgentTick_;
+
+    std::uint64_t dispatches_ = 0;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_CHECK_KERNEL_AUDITOR_HH

@@ -1,0 +1,19 @@
+#include "check/llt_auditor.hh"
+
+namespace cameo
+{
+
+void
+LltAuditor::reportGroup(std::uint64_t group, std::uint32_t slot,
+                        std::uint32_t loc)
+{
+    ++violations_;
+    AuditSink::global().fail(
+        __FILE__, __LINE__,
+        "LLT group " + std::to_string(group) +
+            " is not a permutation: slot " + std::to_string(slot) +
+            " maps to location " + std::to_string(loc) +
+            " (out of range or duplicated)");
+}
+
+} // namespace cameo

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * LltAuditor: checks the Line Location Table permutation invariant.
+ *
+ * Section IV of the paper defines an LLT entry as "the line location of
+ * all K lines in the congruence group" — i.e. a permutation of the K
+ * locations. Every swap must preserve that; a duplicated or
+ * out-of-range location silently corrupts placement (two lines claim
+ * one device line, another device line leaks) and the simulator would
+ * keep producing plausible-looking numbers. The auditor re-derives the
+ * invariant from the table's public accessors so it cannot share a bug
+ * with the table's own bookkeeping.
+ *
+ * Two granularities, matching how the controller uses it:
+ *  - checkGroup(): O(K) incremental check after a single swap;
+ *  - auditAll(): exhaustive sweep over every group, for end-of-run or
+ *    on-demand verification.
+ *
+ * The table is accessed through a template so this library depends on
+ * nothing but the audit sink; any type with groupSize(), numGroups()
+ * and locationOf(group, slot) works (LineLocationTable in production,
+ * hand-built fakes in tests).
+ */
+
+#ifndef CAMEO_CHECK_LLT_AUDITOR_HH
+#define CAMEO_CHECK_LLT_AUDITOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "check/audit.hh"
+
+namespace cameo
+{
+
+/** Permutation-invariant auditor for LLT-shaped tables. */
+class LltAuditor
+{
+  public:
+    LltAuditor() = default;
+
+    /**
+     * Check that @p group's entry is a permutation of 0..K-1. Reports
+     * to the global AuditSink on violation (regardless of the
+     * CAMEO_AUDIT build option; callers asked for this check).
+     *
+     * @return True when the invariant holds.
+     */
+    template <typename Table>
+    bool
+    checkGroup(const Table &table, std::uint64_t group)
+    {
+        const std::uint32_t k = table.groupSize();
+        std::uint32_t seen = 0;
+        for (std::uint32_t slot = 0; slot < k; ++slot) {
+            const std::uint32_t loc = table.locationOf(group, slot);
+            if (loc >= k || (seen & (1u << loc)) != 0) {
+                reportGroup(group, slot, loc);
+                return false;
+            }
+            seen |= 1u << loc;
+        }
+        ++groupsChecked_;
+        return true;
+    }
+
+    /**
+     * Exhaustively audit every group. @return the number of groups
+     * violating the invariant (0 means the table is globally sound).
+     */
+    template <typename Table>
+    std::uint64_t
+    auditAll(const Table &table)
+    {
+        std::uint64_t bad = 0;
+        for (std::uint64_t g = 0; g < table.numGroups(); ++g) {
+            if (!checkGroup(table, g))
+                ++bad;
+        }
+        return bad;
+    }
+
+    /** Groups that passed checkGroup since construction. */
+    std::uint64_t groupsChecked() const { return groupsChecked_; }
+
+    /** Violations this auditor reported since construction. */
+    std::uint64_t violations() const { return violations_; }
+
+  private:
+    /** Format and report one violation to the sink. */
+    void reportGroup(std::uint64_t group, std::uint32_t slot,
+                     std::uint32_t loc);
+
+    std::uint64_t groupsChecked_ = 0;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_CHECK_LLT_AUDITOR_HH

@@ -1,0 +1,25 @@
+#include "check/stat_auditor.hh"
+
+namespace cameo
+{
+
+bool
+StatAuditor::onRegister(const std::string &name)
+{
+    if (!names_.insert(name).second) {
+        ++violations_;
+        AuditSink::global().fail(__FILE__, __LINE__,
+                                 "duplicate stat name registered: " + name);
+        return false;
+    }
+    return true;
+}
+
+void
+StatAuditor::reset()
+{
+    names_.clear();
+    violations_ = 0;
+}
+
+} // namespace cameo

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * StatAuditor: statistic-name uniqueness for one StatRegistry.
+ *
+ * A duplicated stat name is a quiet data bug: the registry's linear
+ * lookups return the first match, the JSON dump emits duplicate keys,
+ * and downstream tooling picks an arbitrary one. The registry's own
+ * assert vanishes in NDEBUG builds (the default RelWithDebInfo), so the
+ * auditor gives the check a release-build home: every registration is
+ * recorded, and a name seen twice — whether by two counters, two
+ * distributions, or one of each — is reported to the AuditSink.
+ */
+
+#ifndef CAMEO_CHECK_STAT_AUDITOR_HH
+#define CAMEO_CHECK_STAT_AUDITOR_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "check/audit.hh"
+
+namespace cameo
+{
+
+/** Duplicate-name auditor for one statistics registry. */
+class StatAuditor
+{
+  public:
+    StatAuditor() = default;
+
+    /**
+     * Record the registration of @p name. Reports to the sink and
+     * returns false when the name was already registered.
+     */
+    bool onRegister(const std::string &name);
+
+    /** Distinct names registered so far. */
+    std::uint64_t namesRegistered() const { return names_.size(); }
+
+    /** Violations reported since construction or reset. */
+    std::uint64_t violations() const { return violations_; }
+
+    /** Forget all names (mirrors a registry being torn down). */
+    void reset();
+
+  private:
+    std::set<std::string> names_;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_CHECK_STAT_AUDITOR_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/llt_auditor.hh"
 #include "util/bitops.hh"
 
 namespace cameo
@@ -284,6 +285,13 @@ CameoController::accessCoLocated(Tick now, std::uint64_t group,
     if (!is_write)
         predictor_.update(core, pc, pred, loc);
     return done;
+}
+
+std::uint64_t
+CameoController::auditLlt() const
+{
+    LltAuditor auditor;
+    return auditor.auditAll(llt_);
 }
 
 void

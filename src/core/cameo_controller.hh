@@ -120,6 +120,15 @@ class CameoController
     /** Off-chip services that skipped the swap (filter said no). */
     const Counter &swapsFiltered() const { return swapsFiltered_; }
 
+    /**
+     * Exhaustively audit the LLT permutation invariant (Section IV-B:
+     * every group's entry is a permutation of its K locations).
+     * Violations are reported to the global AuditSink.
+     *
+     * @return Number of groups violating the invariant (0 = sound).
+     */
+    std::uint64_t auditLlt() const;
+
     const LineLocationTable &llt() const { return llt_; }
     const LineLocationPredictor &predictor() const { return predictor_; }
     const CongruenceGroups &groups() const { return groups_; }

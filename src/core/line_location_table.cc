@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "check/audit.hh"
 #include "util/bitops.hh"
 
 namespace cameo
@@ -45,6 +46,18 @@ LineLocationTable::swapSlots(std::uint64_t group, std::uint32_t slot_a,
 {
     assert(group < numGroups_ && slot_a < groupSize_ && slot_b < groupSize_);
     std::swap(loc_[index(group, slot_a)], loc_[index(group, slot_b)]);
+    // Incremental audit: a swap permutes an entry that was a
+    // permutation, so the entry must still be one afterwards.
+    CAMEO_AUDIT(verifyGroup(group),
+                "LLT entry is not a permutation after swapSlots");
+}
+
+void
+LineLocationTable::poke(std::uint64_t group, std::uint32_t slot,
+                        std::uint32_t loc)
+{
+    assert(group < numGroups_ && slot < groupSize_);
+    loc_[index(group, slot)] = static_cast<std::uint8_t>(loc);
 }
 
 bool

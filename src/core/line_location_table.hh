@@ -57,6 +57,15 @@ class LineLocationTable
     /** True if the entry for @p group is a valid permutation. */
     bool verifyGroup(std::uint64_t group) const;
 
+    /**
+     * Fault injection: overwrite @p slot's location field with @p loc,
+     * bypassing the swap discipline (and therefore able to break the
+     * permutation invariant). Exists so the audit tests can prove that
+     * LltAuditor catches corruption; production code must never call
+     * it.
+     */
+    void poke(std::uint64_t group, std::uint32_t slot, std::uint32_t loc);
+
     std::uint64_t numGroups() const { return numGroups_; }
     std::uint32_t groupSize() const { return groupSize_; }
 

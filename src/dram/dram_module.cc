@@ -10,6 +10,12 @@ DramModule::DramModule(std::string name, const DramTimings &timings,
                        std::uint64_t capacity_bytes)
     : name_(std::move(name)), timings_(timings), map_(timings),
       capacityLines_(capacity_bytes / kLineBytes),
+#if CAMEO_AUDIT_ENABLED
+      protoAudit_(name_, timings.channels, timings.banksPerChannel,
+                  DramProtocolParams{timings.rcdCycles(),
+                                     timings.rasCycles(),
+                                     timings.rpCycles()}),
+#endif
       reads_(name_ + ".reads", "read accesses"),
       writes_(name_ + ".writes", "write accesses"),
       readBytes_(name_ + ".readBytes", "bytes moved by reads"),
@@ -71,11 +77,19 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
       case RowOutcome::Hit:
         rowHits_.inc();
         issue_done = start + timings_.casCycles();
+#if CAMEO_AUDIT_ENABLED
+        protoAudit_.onColumn(coord.channel, coord.bank, coord.row, start);
+#endif
         break;
       case RowOutcome::Closed:
         rowClosed_.inc();
         bank.activateTick = start;
         issue_done = start + timings_.rcdCycles() + timings_.casCycles();
+#if CAMEO_AUDIT_ENABLED
+        protoAudit_.onActivate(coord.channel, coord.bank, coord.row, start);
+        protoAudit_.onColumn(coord.channel, coord.bank, coord.row,
+                             start + timings_.rcdCycles());
+#endif
         break;
       case RowOutcome::Conflict: {
         rowConflicts_.inc();
@@ -86,6 +100,13 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
         bank.activateTick = act_start;
         issue_done =
             act_start + timings_.rcdCycles() + timings_.casCycles();
+#if CAMEO_AUDIT_ENABLED
+        protoAudit_.onPrecharge(coord.channel, coord.bank, pre_start);
+        protoAudit_.onActivate(coord.channel, coord.bank, coord.row,
+                               act_start);
+        protoAudit_.onColumn(coord.channel, coord.bank, coord.row,
+                             act_start + timings_.rcdCycles());
+#endif
         break;
       }
       default:
@@ -142,6 +163,9 @@ DramModule::reset()
         for (Bank &bank : chan.banks)
             bank = Bank{};
     }
+#if CAMEO_AUDIT_ENABLED
+    protoAudit_.reset();
+#endif
     reads_.reset();
     writes_.reset();
     readBytes_.reset();

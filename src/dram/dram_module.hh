@@ -23,10 +23,14 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.hh"
 #include "dram/address_map.hh"
 #include "dram/bank.hh"
 #include "dram/channel.hh"
 #include "dram/timings.hh"
+#if CAMEO_AUDIT_ENABLED
+#include "check/dram_protocol_auditor.hh"
+#endif
 #include "stats/counter.hh"
 #include "stats/distribution.hh"
 #include "stats/registry.hh"
@@ -125,6 +129,11 @@ class DramModule
     DramAddressMap map_;
     std::uint64_t capacityLines_;
     std::vector<Channel> channels_;
+
+#if CAMEO_AUDIT_ENABLED
+    /** Shadow protocol checker fed with every read's implied commands. */
+    DramProtocolAuditor protoAudit_;
+#endif
 
     Counter reads_;
     Counter writes_;

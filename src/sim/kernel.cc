@@ -29,8 +29,13 @@ SimKernel::run(std::uint64_t max_steps)
             heap.emplace(agents_[i]->nextReadyTick(), i);
     }
 
-    std::uint64_t steps = 0;
-    while (!heap.empty() && steps < max_steps) {
+    stepsExecuted_ = 0;
+    hitStepLimit_ = false;
+#if CAMEO_AUDIT_ENABLED
+    auditor_.reset();
+#endif
+
+    while (!heap.empty() && stepsExecuted_ < max_steps) {
         auto [tick, idx] = heap.top();
         heap.pop();
         Agent *agent = agents_[idx];
@@ -41,15 +46,24 @@ SimKernel::run(std::uint64_t max_steps)
             heap.emplace(agent->nextReadyTick(), idx);
             continue;
         }
+#if CAMEO_AUDIT_ENABLED
+        auditor_.onDispatch(idx, tick);
+#endif
         agent->step();
-        ++steps;
+        ++stepsExecuted_;
+#if CAMEO_AUDIT_ENABLED
+        auditor_.onStepped(idx, tick, agent->nextReadyTick());
+#endif
         if (!agent->done())
             heap.emplace(agent->nextReadyTick(), idx);
     }
 
     Tick finish = 0;
-    for (const Agent *agent : agents_)
+    for (const Agent *agent : agents_) {
+        if (!agent->done())
+            hitStepLimit_ = true;
         finish = std::max(finish, agent->nextReadyTick());
+    }
     return finish;
 }
 

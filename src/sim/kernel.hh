@@ -14,9 +14,14 @@
 #ifndef CAMEO_SIM_KERNEL_HH
 #define CAMEO_SIM_KERNEL_HH
 
+#include <cstdint>
 #include <vector>
 
+#include "check/audit.hh"
 #include "util/types.hh"
+#if CAMEO_AUDIT_ENABLED
+#include "check/kernel_auditor.hh"
+#endif
 
 namespace cameo
 {
@@ -59,13 +64,34 @@ class SimKernel
      * Run until every agent reports done (or @p max_steps is hit, as a
      * runaway guard). Returns the maximum nextReadyTick across agents,
      * i.e. the completion time of the slowest agent.
+     *
+     * A truncated run (agents still unfinished when @p max_steps was
+     * reached) is flagged via hitStepLimit(); callers that pass a limit
+     * should check it, because the returned "completion" time of a
+     * truncated run understates the real one.
      */
     Tick run(std::uint64_t max_steps = ~std::uint64_t{0});
+
+    /** Agent steps executed by the most recent run(). */
+    std::uint64_t stepsExecuted() const { return stepsExecuted_; }
+
+    /**
+     * True when the most recent run() stopped at its step limit with
+     * at least one agent not done — i.e. the result was truncated.
+     */
+    bool hitStepLimit() const { return hitStepLimit_; }
 
     std::size_t numAgents() const { return agents_.size(); }
 
   private:
     std::vector<Agent *> agents_;
+    std::uint64_t stepsExecuted_ = 0;
+    bool hitStepLimit_ = false;
+
+#if CAMEO_AUDIT_ENABLED
+    /** Checks dispatch-order and local-clock monotonicity per run. */
+    KernelAuditor auditor_;
+#endif
 };
 
 } // namespace cameo

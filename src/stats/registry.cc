@@ -11,6 +11,9 @@ StatRegistry::add(Counter &counter)
 {
     assert(findCounter(counter.name()) == nullptr &&
            "duplicate counter name");
+#if CAMEO_AUDIT_ENABLED
+    auditor_.onRegister(counter.name());
+#endif
     counters_.push_back(&counter);
 }
 
@@ -19,6 +22,9 @@ StatRegistry::add(Distribution &dist)
 {
     assert(findDistribution(dist.name()) == nullptr &&
            "duplicate distribution name");
+#if CAMEO_AUDIT_ENABLED
+    auditor_.onRegister(dist.name());
+#endif
     dists_.push_back(&dist);
 }
 

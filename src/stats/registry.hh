@@ -19,8 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.hh"
 #include "stats/counter.hh"
 #include "stats/distribution.hh"
+#if CAMEO_AUDIT_ENABLED
+#include "check/stat_auditor.hh"
+#endif
 
 namespace cameo
 {
@@ -73,6 +77,11 @@ class StatRegistry
     std::vector<Counter *> counters_;
     std::vector<Distribution *> dists_;
     std::vector<std::unique_ptr<Counter>> owned_;
+
+#if CAMEO_AUDIT_ENABLED
+    /** Flags duplicate names across counters and distributions. */
+    StatAuditor auditor_;
+#endif
 };
 
 } // namespace cameo

@@ -80,6 +80,13 @@ struct SystemConfig
     /** Trace length per core (L3-level accesses). */
     std::uint64_t accessesPerCore = 200'000;
 
+    /**
+     * Runaway guard for the simulation kernel: maximum agent steps per
+     * run (0 = unlimited). A run that hits the limit is reported as
+     * truncated in RunResult — its execution time understates reality.
+     */
+    std::uint64_t maxKernelSteps = 0;
+
     std::uint64_t seed = 42;
 
     /**

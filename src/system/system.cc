@@ -95,9 +95,12 @@ System::run()
     SimKernel kernel;
     for (auto &core : cores_)
         kernel.addAgent(core.get());
-    kernel.run();
+    kernel.run(config_.maxKernelSteps != 0 ? config_.maxKernelSteps
+                                           : ~std::uint64_t{0});
 
     RunResult r;
+    r.kernelSteps = kernel.stepsExecuted();
+    r.truncated = kernel.hitStepLimit();
     r.orgName = org_->name();
     if (profiles_.size() == 1) {
         r.workload = profiles_[0].name;

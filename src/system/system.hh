@@ -33,6 +33,16 @@ struct RunResult
     /** Execution time: completion of the slowest core (rate mode). */
     Tick execTime = 0;
 
+    /** Agent steps the kernel executed for this run. */
+    std::uint64_t kernelSteps = 0;
+
+    /**
+     * True when the run stopped at SystemConfig::maxKernelSteps with
+     * unfinished cores: execTime and all counters understate the full
+     * run and must not be compared against untruncated results.
+     */
+    bool truncated = false;
+
     std::uint64_t instructions = 0;
     std::uint64_t accesses = 0;
     std::uint64_t l3Hits = 0;

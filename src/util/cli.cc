@@ -1,6 +1,9 @@
 #include "util/cli.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace cameo
@@ -53,11 +56,25 @@ CliParser::getUint(const std::string &name, std::uint64_t def) const
     const auto it = flags_.find(name);
     if (it == flags_.end())
         return def;
-    char *end = nullptr;
-    const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0') {
+    const std::string &text = it->second;
+    // Strict grammar: one or more decimal digits and nothing else.
+    // This rejects partial parses ("8x"), signs ("-5" would wrap
+    // through strtoull to a huge value), whitespace, and empty values.
+    const bool digits_only =
+        !text.empty() &&
+        std::all_of(text.begin(), text.end(), [](unsigned char c) {
+            return std::isdigit(c) != 0;
+        });
+    if (!digits_only) {
         errors_.push_back("--" + name + ": expected an integer, got '" +
-                          it->second + "'");
+                          text + "'");
+        return def;
+    }
+    errno = 0;
+    const std::uint64_t v = std::strtoull(text.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+        errors_.push_back("--" + name + ": value out of range: '" + text +
+                          "'");
         return def;
     }
     return v;
@@ -70,11 +87,19 @@ CliParser::getDouble(const std::string &name, double def) const
     const auto it = flags_.find(name);
     if (it == flags_.end())
         return def;
+    const std::string &text = it->second;
     char *end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0') {
-        errors_.push_back("--" + name + ": expected a number, got '" +
-                          it->second + "'");
+    const double v =
+        text.empty() ? 0.0 : std::strtod(text.c_str(), &end);
+    // The whole token must parse (no "2.5x"), with no leading
+    // whitespace (strtod would silently skip it), and the result must
+    // be finite (rejects "inf", "nan", and overflowing exponents).
+    const bool whole_token =
+        !text.empty() && end == text.c_str() + text.size() &&
+        std::isspace(static_cast<unsigned char>(text.front())) == 0;
+    if (!whole_token || !std::isfinite(v)) {
+        errors_.push_back("--" + name + ": expected a finite number, "
+                          "got '" + text + "'");
         return def;
     }
     return v;

@@ -33,12 +33,15 @@ class CliParser
     std::string getString(const std::string &name,
                           const std::string &def = "") const;
 
-    /** Unsigned integer flag; @p def when absent; records an error on
-     *  unparsable values. */
+    /** Unsigned integer flag; @p def when absent. The whole value must
+     *  be decimal digits: partial parses ("8x"), signs, and
+     *  out-of-range values record an error and return @p def. */
     std::uint64_t getUint(const std::string &name,
                           std::uint64_t def = 0) const;
 
-    /** Double flag; @p def when absent. */
+    /** Double flag; @p def when absent. The whole value must parse to
+     *  a finite double; anything else records an error and returns
+     *  @p def. */
     double getDouble(const std::string &name, double def = 0.0) const;
 
     /** Boolean flag: present without value (or =true/=1) is true. */

@@ -90,6 +90,56 @@ TEST(CliParserTest, DoubleParsing)
     EXPECT_EQ(cli.errors().size(), 1u);
 }
 
+TEST(CliParserTest, IntegerRejectsTrailingGarbage)
+{
+    // "--cores=8x" must not silently parse as 8.
+    const auto cli = parse({"--cores=8x"});
+    EXPECT_EQ(cli.getUint("cores", 4), 4u);
+    ASSERT_EQ(cli.errors().size(), 1u);
+    EXPECT_NE(cli.errors()[0].find("cores"), std::string::npos);
+}
+
+TEST(CliParserTest, IntegerRejectsSignsWhitespaceAndEmpty)
+{
+    // strtoull would wrap "-5" to a huge value; the parser must not.
+    const auto cli =
+        parse({"--neg=-5", "--pos=+5", "--ws= 5", "--empty="});
+    EXPECT_EQ(cli.getUint("neg", 7), 7u);
+    EXPECT_EQ(cli.getUint("pos", 7), 7u);
+    EXPECT_EQ(cli.getUint("ws", 7), 7u);
+    EXPECT_EQ(cli.getUint("empty", 7), 7u);
+    EXPECT_EQ(cli.errors().size(), 4u);
+}
+
+TEST(CliParserTest, IntegerRejectsOverflow)
+{
+    // One past 2^64 - 1: strtoull saturates with ERANGE.
+    const auto cli = parse({"--n=18446744073709551616"});
+    EXPECT_EQ(cli.getUint("n", 3), 3u);
+    ASSERT_EQ(cli.errors().size(), 1u);
+    EXPECT_NE(cli.errors()[0].find("range"), std::string::npos);
+    // The exact maximum still parses.
+    const auto max_cli = parse({"--n=18446744073709551615"});
+    EXPECT_EQ(max_cli.getUint("n"), ~std::uint64_t{0});
+    EXPECT_TRUE(max_cli.errors().empty());
+}
+
+TEST(CliParserTest, DoubleRejectsPartialAndNonFinite)
+{
+    const auto cli = parse({"--a=2.5x", "--b=1e999", "--c=nan",
+                            "--d= 1.5", "--e="});
+    EXPECT_DOUBLE_EQ(cli.getDouble("a", 9.0), 9.0);
+    EXPECT_DOUBLE_EQ(cli.getDouble("b", 9.0), 9.0);
+    EXPECT_DOUBLE_EQ(cli.getDouble("c", 9.0), 9.0);
+    EXPECT_DOUBLE_EQ(cli.getDouble("d", 9.0), 9.0);
+    EXPECT_DOUBLE_EQ(cli.getDouble("e", 9.0), 9.0);
+    EXPECT_EQ(cli.errors().size(), 5u);
+    // Scientific notation and negatives remain valid doubles.
+    const auto ok = parse({"--x=-1.5e3"});
+    EXPECT_DOUBLE_EQ(ok.getDouble("x"), -1500.0);
+    EXPECT_TRUE(ok.errors().empty());
+}
+
 TEST(JsonDumpTest, WellFormedAndComplete)
 {
     StatRegistry reg;

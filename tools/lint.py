@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Repository-convention linter for the CAMEO simulator.
+
+Machine-checks the conventions the codebase relies on but no compiler
+enforces:
+
+  1. Include guards in ``src/**/*.hh`` are named
+     ``CAMEO_<DIR>_<FILE>_HH`` (path components under ``src/``,
+     uppercased, non-alphanumerics mapped to ``_``), with the matching
+     ``#define`` and a ``#endif // GUARD`` trailer.
+  2. Every header under ``src/`` carries a Doxygen ``@file`` comment.
+  3. No nondeterminism outside ``src/util/rng``: ``rand()``,
+     ``srand()``, ``time()``, ``clock()``, ``std::random_device``, and
+     the ``<chrono>`` wall clocks are banned in simulation code so runs
+     stay bit-reproducible (google-benchmark owns timing in ``bench/``).
+  4. Hygiene: no tabs, no trailing whitespace, files end with exactly
+     one newline.
+
+Usage: ``python3 tools/lint.py [repo-root]``. Exits non-zero and prints
+``file:line: message`` for every violation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".hh", ".cc", ".cpp", ".hpp"}
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+
+# Files allowed to reach for entropy: the deterministic RNG wrappers.
+NONDETERMINISM_EXEMPT = {"src/util/rng.hh", "src/util/rng.cc"}
+
+# (human name, regex) for banned nondeterminism sources. Applied to
+# comment- and string-stripped code, case-sensitively.
+BANNED_PATTERNS = [
+    ("rand()", re.compile(r"(?<![\w:])s?rand\s*\(")),
+    ("time()/clock()", re.compile(r"(?<![\w:.>])(?:time|clock)\s*\(")),
+    ("std::random_device", re.compile(r"std\s*::\s*random_device")),
+    (
+        "<chrono> wall clock",
+        re.compile(
+            r"std\s*::\s*chrono\s*::\s*"
+            r"(?:system_clock|steady_clock|high_resolution_clock)"
+        ),
+    ),
+]
+
+
+def strip_comments_and_strings(code: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay accurate."""
+    out: list[str] = []
+    i, n = 0, len(code)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = code[i]
+        nxt = code[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(rel: Path) -> str:
+    """CAMEO_<DIR>_<FILE>_HH for a path like src/dir/file.hh."""
+    parts = rel.parts[1:-1] + (rel.stem,)  # drop leading "src"
+    mangled = "_".join(re.sub(r"[^A-Za-z0-9]", "_", p) for p in parts)
+    return f"CAMEO_{mangled.upper()}_HH"
+
+
+def check_include_guard(rel: Path, text: str, problems: list[str]) -> None:
+    guard = expected_guard(rel)
+    lines = text.splitlines()
+    ifndef_re = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+    ifndef_line = None
+    for lineno, line in enumerate(lines, 1):
+        m = ifndef_re.match(line)
+        if m:
+            ifndef_line = (lineno, m.group(1))
+            break
+    if ifndef_line is None:
+        problems.append(f"{rel}:1: missing include guard (#ifndef {guard})")
+        return
+    lineno, actual = ifndef_line
+    if actual != guard:
+        problems.append(
+            f"{rel}:{lineno}: include guard '{actual}' should be '{guard}'"
+        )
+        return
+    if not re.search(rf"^\s*#\s*define\s+{re.escape(guard)}\b", text, re.M):
+        problems.append(f"{rel}:{lineno}: missing '#define {guard}'")
+    if not re.search(rf"#\s*endif\s*//\s*{re.escape(guard)}\s*$", text):
+        problems.append(
+            f"{rel}:{len(lines)}: missing trailing '#endif // {guard}'"
+        )
+
+
+def check_file_doc(rel: Path, text: str, problems: list[str]) -> None:
+    head = "\n".join(text.splitlines()[:10])
+    if "@file" not in head:
+        problems.append(
+            f"{rel}:1: missing Doxygen '@file' comment at top of header"
+        )
+
+
+def check_nondeterminism(rel: Path, text: str, problems: list[str]) -> None:
+    if rel.as_posix() in NONDETERMINISM_EXEMPT:
+        return
+    stripped = strip_comments_and_strings(text)
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        for name, pattern in BANNED_PATTERNS:
+            if pattern.search(line):
+                problems.append(
+                    f"{rel}:{lineno}: banned nondeterminism source "
+                    f"{name}; use util/rng (seeded, reproducible)"
+                )
+
+
+def check_hygiene(rel: Path, text: str, problems: list[str]) -> None:
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if "\t" in line:
+            problems.append(f"{rel}:{lineno}: tab character (use spaces)")
+        if line != line.rstrip():
+            problems.append(f"{rel}:{lineno}: trailing whitespace")
+    if text and not text.endswith("\n"):
+        problems.append(f"{rel}: missing newline at end of file")
+    if text.endswith("\n\n"):
+        problems.append(f"{rel}: multiple blank lines at end of file")
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
+    root = root.resolve()
+
+    files: list[Path] = []
+    for top in SOURCE_DIRS:
+        base = root / top
+        if base.is_dir():
+            files.extend(
+                p
+                for p in sorted(base.rglob("*"))
+                if p.suffix in CXX_SUFFIXES and p.is_file()
+            )
+
+    problems: list[str] = []
+    for path in files:
+        rel = path.relative_to(root)
+        text = path.read_text(encoding="utf-8")
+        if rel.parts[0] == "src" and rel.suffix == ".hh":
+            check_include_guard(rel, text, problems)
+            check_file_doc(rel, text, problems)
+        check_nondeterminism(rel, text, problems)
+        check_hygiene(rel, text, problems)
+
+    for problem in problems:
+        print(problem)
+    print(
+        f"lint.py: {len(files)} files checked, {len(problems)} problem(s)",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
