@@ -31,19 +31,42 @@ main()
                     std::to_string(workloads.size()) + " workloads)");
     table.setHeader({"Stacked", "K", "Gmean CAMEO", "Gmean Cache",
                      "Mean stacked-svc%"});
-    for (const std::uint64_t frac : {8ull, 4ull, 2ull}) {
+
+    // Flatten (fraction x workload x {baseline, cameo, cache}) into one
+    // sweep; slot arithmetic below mirrors this enumeration order.
+    const std::vector<std::uint64_t> fracs{8, 4, 2};
+    std::vector<SweepJob> jobs;
+    jobs.reserve(fracs.size() * workloads.size() * 3);
+    for (const std::uint64_t frac : fracs) {
         SystemConfig config = base;
         config.stackedBytes = total / frac;
         config.offchipBytes = total - config.stackedBytes;
-        std::vector<double> cameo_s, cache_s, svc;
         for (const auto &wl : workloads) {
-            std::cout << "  [1/" << frac << " " << wl.name << "]..."
-                      << std::flush;
-            const RunResult b =
-                runWorkload(config, OrgKind::Baseline, wl);
-            const RunResult r = runWorkload(config, OrgKind::Cameo, wl);
-            const RunResult c =
-                runWorkload(config, OrgKind::AlloyCache, wl);
+            const std::string prefix =
+                "1/" + std::to_string(frac) + " " + wl.name;
+            jobs.push_back({prefix + "/baseline", [config, wl] {
+                                return runWorkload(
+                                    config, OrgKind::Baseline, wl);
+                            }});
+            jobs.push_back({prefix + "/CAMEO", [config, wl] {
+                                return runWorkload(config, OrgKind::Cameo,
+                                                   wl);
+                            }});
+            jobs.push_back({prefix + "/Cache", [config, wl] {
+                                return runWorkload(
+                                    config, OrgKind::AlloyCache, wl);
+                            }});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(std::move(jobs));
+
+    for (std::size_t f = 0; f < fracs.size(); ++f) {
+        std::vector<double> cameo_s, cache_s, svc;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const std::size_t slot = (f * workloads.size() + w) * 3;
+            const RunResult &b = results[slot];
+            const RunResult &r = results[slot + 1];
+            const RunResult &c = results[slot + 2];
             cameo_s.push_back(
                 speedup(static_cast<double>(b.execTime),
                         static_cast<double>(r.execTime)));
@@ -52,9 +75,8 @@ main()
                         static_cast<double>(c.execTime)));
             svc.push_back(100.0 * r.stackedServiceFraction());
         }
-        std::cout << "\n";
-        table.addRow({"1/" + std::to_string(frac),
-                      TextTable::cell(std::uint64_t{frac}),
+        table.addRow({"1/" + std::to_string(fracs[f]),
+                      TextTable::cell(std::uint64_t{fracs[f]}),
                       TextTable::cell(geometricMean(cameo_s)),
                       TextTable::cell(geometricMean(cache_s)),
                       TextTable::cell(arithmeticMean(svc), 1)});

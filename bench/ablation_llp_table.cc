@@ -30,24 +30,42 @@ main()
                     std::to_string(workloads.size()) + " workloads)");
     table.setHeader({"Entries/core", "Storage/core", "Gmean speedup",
                      "Mean accuracy%"});
-    for (const std::uint32_t entries : {1u, 16u, 64u, 256u, 1024u, 4096u}) {
+
+    // Flatten (entries x workload x {baseline, cameo}) into one sweep.
+    const std::vector<std::uint32_t> sizes{1, 16, 64, 256, 1024, 4096};
+    std::vector<SweepJob> jobs;
+    jobs.reserve(sizes.size() * workloads.size() * 2);
+    for (const std::uint32_t entries : sizes) {
         SystemConfig config = base;
         config.llpTableEntries = entries;
-        std::vector<double> speedups, accuracies;
         for (const auto &wl : workloads) {
-            std::cout << "  [" << entries << "/" << wl.name << "]..."
-                      << std::flush;
-            const RunResult b =
-                runWorkload(config, OrgKind::Baseline, wl);
-            const RunResult r = runWorkload(config, OrgKind::Cameo, wl);
+            const std::string prefix =
+                std::to_string(entries) + "/" + wl.name;
+            jobs.push_back({prefix + "/baseline", [config, wl] {
+                                return runWorkload(
+                                    config, OrgKind::Baseline, wl);
+                            }});
+            jobs.push_back({prefix + "/CAMEO", [config, wl] {
+                                return runWorkload(config, OrgKind::Cameo,
+                                                   wl);
+                            }});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(std::move(jobs));
+
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::vector<double> speedups, accuracies;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const std::size_t slot = (s * workloads.size() + w) * 2;
+            const RunResult &b = results[slot];
+            const RunResult &r = results[slot + 1];
             speedups.push_back(
                 speedup(static_cast<double>(b.execTime),
                         static_cast<double>(r.execTime)));
             accuracies.push_back(100.0 * r.llpAccuracy);
         }
-        std::cout << "\n";
-        table.addRow({TextTable::cell(std::uint64_t{entries}),
-                      std::to_string(entries * 2 / 8) + " B",
+        table.addRow({TextTable::cell(std::uint64_t{sizes[s]}),
+                      std::to_string(sizes[s] * 2 / 8) + " B",
                       TextTable::cell(geometricMean(speedups)),
                       TextTable::cell(arithmeticMean(accuracies), 1)});
     }

@@ -6,19 +6,29 @@
  * the scaled default configuration. Trace length can be overridden
  * with the CAMEO_BENCH_ACCESSES environment variable (accesses per
  * core) and the workload set narrowed with CAMEO_BENCH_WORKLOADS
- * (comma-separated benchmark names) for quick runs.
+ * (comma-separated benchmark names) for quick runs. Both are parsed
+ * strictly: malformed numbers and unknown workload names warn on
+ * stderr instead of being silently accepted or dropped.
+ *
+ * Simulations execute on the parallel sweep engine (exp/sweep.hh);
+ * CAMEO_BENCH_JOBS caps the worker threads (default: all hardware
+ * threads). Results are bit-identical for any job count.
  */
 
 #ifndef CAMEO_BENCH_BENCH_COMMON_HH
 #define CAMEO_BENCH_BENCH_COMMON_HH
 
 #include <cstdlib>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exp/sweep.hh"
 #include "system/config.hh"
 #include "system/experiment.hh"
 #include "trace/workloads.hh"
+#include "util/env.hh"
 
 namespace cameo::bench
 {
@@ -28,8 +38,12 @@ inline SystemConfig
 benchConfig()
 {
     SystemConfig config = defaultConfig();
-    if (const char *env = std::getenv("CAMEO_BENCH_ACCESSES"))
-        config.accessesPerCore = std::strtoull(env, nullptr, 10);
+    std::string error;
+    if (const auto accesses = envUint("CAMEO_BENCH_ACCESSES", &error))
+        config.accessesPerCore = *accesses;
+    if (!error.empty())
+        std::cerr << "warning: " << error << " (using default "
+                  << config.accessesPerCore << ")\n";
     return config;
 }
 
@@ -40,19 +54,16 @@ benchWorkloads()
     const char *env = std::getenv("CAMEO_BENCH_WORKLOADS");
     if (env == nullptr)
         return allWorkloads();
-    std::vector<WorkloadProfile> out;
-    std::string names(env);
-    std::size_t pos = 0;
-    while (pos <= names.size()) {
-        const std::size_t comma = names.find(',', pos);
-        const std::string name =
-            names.substr(pos, comma == std::string::npos ? std::string::npos
-                                                         : comma - pos);
-        if (const WorkloadProfile *profile = findWorkload(name))
-            out.push_back(*profile);
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
+    std::vector<std::string> unknown;
+    std::vector<WorkloadProfile> out = workloadsByNames(env, &unknown);
+    for (const std::string &name : unknown) {
+        std::cerr << "warning: CAMEO_BENCH_WORKLOADS: unknown workload '"
+                  << name << "' (ignored)\n";
+    }
+    if (out.empty()) {
+        std::cerr << "warning: CAMEO_BENCH_WORKLOADS matched no "
+                     "workloads; using all\n";
+        return allWorkloads();
     }
     return out;
 }
@@ -62,6 +73,20 @@ inline DesignPoint
 point(std::string label, OrgKind kind, const SystemConfig &config)
 {
     return DesignPoint{std::move(label), kind, config};
+}
+
+/**
+ * Run a flat job list on the sweep engine with progress on stdout.
+ * Results come back in submission order, so benches can index them by
+ * the same arithmetic they used to enumerate the jobs.
+ */
+inline std::vector<RunResult>
+runSweep(std::vector<SweepJob> jobs)
+{
+    ProgressReporter progress(&std::cout);
+    SweepOptions options;
+    options.progress = &progress;
+    return SweepRunner(options).run(std::move(jobs));
 }
 
 } // namespace cameo::bench

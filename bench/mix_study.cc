@@ -46,6 +46,11 @@ main()
         header.push_back(label);
     table.setHeader(std::move(header));
 
+    // One sweep over (mix x {baseline, designs...}); slot arithmetic
+    // below mirrors this enumeration order.
+    std::vector<std::string> labels;
+    std::vector<SweepJob> jobs;
+    jobs.reserve(mixes.size() * (designs.size() + 1));
     for (const auto &mix : mixes) {
         std::vector<WorkloadProfile> profiles;
         std::string label;
@@ -53,18 +58,30 @@ main()
             profiles.push_back(*findWorkload(name));
             label += (label.empty() ? "" : "+") + std::string(name);
         }
-        std::cout << "  [" << label << "] baseline..." << std::flush;
-        const RunResult base =
-            runMix(config, OrgKind::Baseline, profiles);
-        std::vector<std::string> row{label};
+        labels.push_back(label);
+        jobs.push_back({label + "/baseline", [config, profiles] {
+                            return runMix(config, OrgKind::Baseline,
+                                          profiles);
+                        }});
         for (const auto &[dlabel, kind] : designs) {
-            std::cout << " " << dlabel << "..." << std::flush;
-            const RunResult r = runMix(config, kind, profiles);
+            jobs.push_back(
+                {label + "/" + dlabel, [config, kind = kind, profiles] {
+                     return runMix(config, kind, profiles);
+                 }});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(std::move(jobs));
+
+    const std::size_t stride = designs.size() + 1;
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const RunResult &base = results[m * stride];
+        std::vector<std::string> row{labels[m]};
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+            const RunResult &r = results[m * stride + 1 + d];
             row.push_back(TextTable::cell(
                 speedup(static_cast<double>(base.execTime),
                         static_cast<double>(r.execTime))));
         }
-        std::cout << "\n";
         table.addRow(std::move(row));
     }
     table.print(std::cout);

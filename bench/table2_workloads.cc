@@ -29,9 +29,19 @@ main()
     table.setHeader({"Workload", "Category", "Paper MPKI", "Meas MPKI",
                      "Paper footprint", "Scaled footprint",
                      "Lines/page", "Faults"});
+    std::vector<SweepJob> jobs;
+    jobs.reserve(workloads.size());
     for (const auto &wl : workloads) {
-        std::cout << "  [" << wl.name << "]..." << std::flush;
-        const RunResult r = runWorkload(config, OrgKind::Baseline, wl);
+        jobs.push_back({wl.name + "/baseline", [&config, wl] {
+                            return runWorkload(config, OrgKind::Baseline,
+                                               wl);
+                        }});
+    }
+    const std::vector<RunResult> results = runSweep(std::move(jobs));
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const WorkloadProfile &wl = workloads[i];
+        const RunResult &r = results[i];
         const GeneratorParams gp = config.generatorParamsFor(wl);
         table.addRow(
             {wl.name, categoryName(wl.category),

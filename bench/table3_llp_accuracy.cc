@@ -31,21 +31,31 @@ main()
     std::array<double, 3> accuracy{};
 
     const auto workloads = benchWorkloads();
-    for (std::size_t k = 0; k < kinds.size(); ++k) {
+    std::vector<SweepJob> jobs;
+    jobs.reserve(kinds.size() * workloads.size());
+    for (const PredictorKind kind : kinds) {
         SystemConfig config = base;
-        config.predictorKind = kinds[k];
+        config.predictorKind = kind;
+        for (const auto &wl : workloads) {
+            jobs.push_back(
+                {std::string(predictorKindName(kind)) + "/" + wl.name,
+                 [config, wl] {
+                     return runWorkload(config, OrgKind::Cameo, wl);
+                 }});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(std::move(jobs));
+
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
         std::uint64_t cases[5] = {0, 0, 0, 0, 0};
         std::uint64_t total = 0;
-        for (const auto &wl : workloads) {
-            std::cout << "  [" << predictorKindName(kinds[k]) << "/"
-                      << wl.name << "]..." << std::flush;
-            const RunResult r = runWorkload(config, OrgKind::Cameo, wl);
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const RunResult &r = results[k * workloads.size() + w];
             for (int c = 0; c < 5; ++c) {
                 cases[c] += r.llpCases[c];
                 total += r.llpCases[c];
             }
         }
-        std::cout << "\n";
         for (int c = 0; c < 5; ++c)
             percent[k][c] = total ? 100.0 * cases[c] / total : 0.0;
         accuracy[k] = percent[k][0] + percent[k][3];

@@ -23,13 +23,19 @@
  *   --llp-entries LLR entries per core                     (default 256)
  *   --refresh     model DRAM refresh (tREFI 7.8us, tRFC 350ns)
  *   --baseline    also run the baseline and report speedup
+ *   --jobs        sweep-engine worker threads (0 = auto; also
+ *                 CAMEO_BENCH_JOBS). With --baseline the two runs
+ *                 execute concurrently.
  *   --dump-stats  print the full statistics registry
  *   --json        machine-readable stats (implies --dump-stats)
  *   --list        list workloads and exit
  */
 
 #include <iostream>
+#include <memory>
+#include <vector>
 
+#include "exp/sweep.hh"
 #include "system/system.hh"
 #include "trace/workloads.hh"
 #include "util/cli.hh"
@@ -139,6 +145,8 @@ main(int argc, char **argv)
     const bool want_baseline = cli.getBool("baseline");
     const bool json = cli.getBool("json");
     const bool dump = cli.getBool("dump-stats") || json;
+    const unsigned jobs =
+        static_cast<unsigned>(cli.getUint("jobs", want_baseline ? 0 : 1));
 
     for (const std::string &flag : cli.unknownFlags())
         std::cerr << "warning: unknown flag --" << flag << "\n";
@@ -147,12 +155,33 @@ main(int argc, char **argv)
     if (!cli.errors().empty())
         return EXIT_FAILURE;
 
-    RunResult base;
-    if (want_baseline)
-        base = runWorkload(config, OrgKind::Baseline, *profile);
+    // Both runs go through the sweep engine; with --baseline and
+    // --jobs >= 2 (or auto) they execute concurrently. The System of
+    // the main run outlives the sweep so --dump-stats can read its
+    // registry.
+    std::unique_ptr<System> main_system;
+    std::vector<SweepJob> sweep_jobs;
+    if (want_baseline) {
+        sweep_jobs.push_back({"baseline", [&config, profile] {
+                                  return runWorkload(
+                                      config, OrgKind::Baseline, *profile);
+                              }});
+    }
+    sweep_jobs.push_back(
+        {cli.getString("org", "cameo"), [&] {
+             main_system = std::make_unique<System>(config, kind, *profile);
+             return main_system->run();
+         }});
 
-    System system(config, kind, *profile);
-    const RunResult r = system.run();
+    SweepOptions sweep_options;
+    sweep_options.jobs = jobs;
+    const std::vector<RunResult> sweep_results =
+        SweepRunner(sweep_options).run(std::move(sweep_jobs));
+
+    const RunResult base =
+        want_baseline ? sweep_results.front() : RunResult{};
+    const RunResult r = sweep_results.back();
+    System &system = *main_system;
 
     if (r.truncated) {
         std::cerr << "warning: run truncated at --max-steps="

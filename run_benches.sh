@@ -1,6 +1,8 @@
 #!/bin/sh
 # Regenerates bench_output.txt: every paper figure/table at full
 # settings, extension/ablation benches on a representative subset.
+# Set CAMEO_BENCH_JOBS=$(nproc) to run each bench's simulation grid on
+# all cores; tables are bit-identical to a serial run.
 set -u
 cd "$(dirname "$0")"
 {

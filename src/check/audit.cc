@@ -9,7 +9,8 @@ namespace cameo
 AuditSink::AuditSink()
 {
     const char *abort_env = std::getenv("CAMEO_AUDIT_ABORT");
-    abortOnFailure_ = abort_env != nullptr && abort_env[0] != '\0';
+    abortOnFailure_.store(abort_env != nullptr && abort_env[0] != '\0',
+                          std::memory_order_relaxed);
 }
 
 AuditSink &
@@ -22,22 +23,33 @@ AuditSink::global()
 void
 AuditSink::fail(const char *file, int line, const std::string &msg)
 {
-    ++failures_;
-    if (firstFailure_.empty()) {
-        firstFailure_ =
-            std::string(file) + ":" + std::to_string(line) + ": " + msg;
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (firstFailure_.empty()) {
+            firstFailure_ =
+                std::string(file) + ":" + std::to_string(line) + ": " + msg;
+        }
     }
-    if (abortOnFailure_) {
+    if (abortOnFailure()) {
         std::cerr << "CAMEO_AUDIT failure: " << file << ":" << line << ": "
                   << msg << "\n";
         std::abort();
     }
 }
 
+std::string
+AuditSink::firstFailure() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return firstFailure_;
+}
+
 void
 AuditSink::reset()
 {
-    failures_ = 0;
+    failures_.store(0, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mutex_);
     firstFailure_.clear();
 }
 

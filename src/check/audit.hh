@@ -25,15 +25,20 @@
  *    instrumentation is compiled out.
  *
  * The sink is a process-wide singleton on purpose: audits fire from
- * deep inside subsystems that have no registry to hand, and the
- * simulator is single-threaded per process (benches run configurations
- * sequentially). Tests reset it between cases.
+ * deep inside subsystems that have no registry to hand. Each simulated
+ * System is single-threaded, but the sweep engine (src/exp) runs many
+ * Systems on concurrent worker threads, so the sink is thread-safe:
+ * the failure count is atomic and the captured first failure is
+ * mutex-guarded ("first" under concurrency means the first to reach
+ * the sink). Tests reset it between cases.
  */
 
 #ifndef CAMEO_CHECK_AUDIT_HH
 #define CAMEO_CHECK_AUDIT_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #ifndef CAMEO_AUDIT_ENABLED
@@ -60,10 +65,13 @@ class AuditSink
     void fail(const char *file, int line, const std::string &msg);
 
     /** Total failures recorded since the last reset. */
-    std::uint64_t failures() const { return failures_; }
+    std::uint64_t failures() const
+    {
+        return failures_.load(std::memory_order_relaxed);
+    }
 
     /** "file:line: msg" of the first failure; empty if none. */
-    const std::string &firstFailure() const { return firstFailure_; }
+    std::string firstFailure() const;
 
     /**
      * Die (std::abort) on the next failure. Useful under sanitizers,
@@ -72,10 +80,13 @@ class AuditSink
      */
     void setAbortOnFailure(bool abort_on_failure)
     {
-        abortOnFailure_ = abort_on_failure;
+        abortOnFailure_.store(abort_on_failure, std::memory_order_relaxed);
     }
 
-    bool abortOnFailure() const { return abortOnFailure_; }
+    bool abortOnFailure() const
+    {
+        return abortOnFailure_.load(std::memory_order_relaxed);
+    }
 
     /** Clear counts and the captured first failure. */
     void reset();
@@ -83,9 +94,11 @@ class AuditSink
   private:
     AuditSink();
 
-    std::uint64_t failures_ = 0;
+    std::atomic<std::uint64_t> failures_{0};
+    std::atomic<bool> abortOnFailure_{false};
+
+    mutable std::mutex mutex_; ///< Guards firstFailure_.
     std::string firstFailure_;
-    bool abortOnFailure_ = false;
 };
 
 } // namespace cameo

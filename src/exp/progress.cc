@@ -1,0 +1,45 @@
+#include "exp/progress.hh"
+
+#include <cstdio>
+
+namespace cameo
+{
+
+void
+ProgressReporter::setTotal(std::size_t total)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total_ = total;
+}
+
+void
+ProgressReporter::jobFinished(const std::string &label, double seconds)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    if (os_ == nullptr)
+        return;
+    char timing[32];
+    std::snprintf(timing, sizeof(timing), "%.2fs", seconds);
+    *os_ << "  [" << done_ << "/" << total_ << "] " << label << " ("
+         << timing << ")\n"
+         << std::flush;
+}
+
+void
+ProgressReporter::line(const std::string &text)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (os_ == nullptr)
+        return;
+    *os_ << text << "\n" << std::flush;
+}
+
+std::size_t
+ProgressReporter::finished() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+} // namespace cameo

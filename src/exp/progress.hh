@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Thread-safe progress reporting for the sweep engine.
+ *
+ * The old experiment harness streamed partial lines ("[mcf]
+ * baseline... Cache...") to a raw std::ostream*, which interleaves
+ * garbage the moment two workers report at once. ProgressReporter
+ * replaces it: every emission is one whole line written under a mutex,
+ * so concurrent workers produce readable (if arbitrarily ordered)
+ * output. A null stream turns every call into a cheap counter update,
+ * so callers never need progress-vs-quiet branches.
+ */
+
+#ifndef CAMEO_EXP_PROGRESS_HH
+#define CAMEO_EXP_PROGRESS_HH
+
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace cameo
+{
+
+/** Serializes whole-line progress output from concurrent workers. */
+class ProgressReporter
+{
+  public:
+    /** @param os Destination stream; nullptr counts silently. */
+    explicit ProgressReporter(std::ostream *os = nullptr) : os_(os) {}
+
+    ProgressReporter(const ProgressReporter &) = delete;
+    ProgressReporter &operator=(const ProgressReporter &) = delete;
+
+    /** Announce the total job count (shown as "[done/total]"). */
+    void setTotal(std::size_t total);
+
+    /**
+     * Record one finished job and (with a stream) print one atomic
+     * "  [done/total] label (1.23s)" line.
+     */
+    void jobFinished(const std::string &label, double seconds);
+
+    /** Print one raw line (a '\n' is appended) atomically. */
+    void line(const std::string &text);
+
+    /** Jobs reported finished so far. */
+    std::size_t finished() const;
+
+  private:
+    std::ostream *os_;
+    mutable std::mutex mutex_;
+    std::size_t total_ = 0;
+    std::size_t done_ = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_EXP_PROGRESS_HH

@@ -1,0 +1,23 @@
+#include "exp/stopwatch.hh"
+
+#include <chrono>
+
+namespace cameo
+{
+
+std::uint64_t
+Stopwatch::nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+double
+Stopwatch::seconds() const
+{
+    return static_cast<double>(nowNs() - startNs_) * 1e-9;
+}
+
+} // namespace cameo

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <fstream>
 
+#include "exp/sweep.hh"
 #include "stats/table.hh"
 #include "util/math.hh"
 
@@ -23,24 +24,10 @@ runComparison(const SystemConfig &base_config,
               std::span<const WorkloadProfile> workloads,
               std::ostream *progress)
 {
-    std::vector<SpeedupRow> rows;
-    rows.reserve(workloads.size());
-    for (const WorkloadProfile &wl : workloads) {
-        SpeedupRow row;
-        row.workload = wl;
-        if (progress)
-            *progress << "  [" << wl.name << "] baseline..." << std::flush;
-        row.baseline = runWorkload(base_config, OrgKind::Baseline, wl);
-        for (const DesignPoint &point : points) {
-            if (progress)
-                *progress << " " << point.label << "..." << std::flush;
-            row.runs.push_back(runWorkload(point.config, point.kind, wl));
-        }
-        if (progress)
-            *progress << " done\n" << std::flush;
-        rows.push_back(std::move(row));
-    }
-    return rows;
+    ProgressReporter reporter(progress);
+    SweepOptions options;
+    options.progress = progress != nullptr ? &reporter : nullptr;
+    return runComparison(base_config, points, workloads, options);
 }
 
 double

@@ -41,6 +41,12 @@ struct SpeedupRow
 /**
  * Run the baseline plus every design point over every workload.
  *
+ * Executes on the parallel sweep engine (exp/sweep.hh) with the
+ * default worker count (CAMEO_BENCH_JOBS, else hardware concurrency);
+ * results are bit-identical to a serial run for any worker count. Use
+ * the SweepOptions overload in exp/sweep.hh to control workers or
+ * progress directly.
+ *
  * @param base_config Config used for the shared baseline runs.
  * @param points      Design points (columns).
  * @param workloads   Workloads (rows).

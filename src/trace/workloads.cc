@@ -153,4 +153,27 @@ findWorkload(const std::string &name)
     return nullptr;
 }
 
+std::vector<WorkloadProfile>
+workloadsByNames(std::string_view csv, std::vector<std::string> *unknown)
+{
+    std::vector<WorkloadProfile> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::size_t end =
+            comma == std::string_view::npos ? csv.size() : comma;
+        const std::string name(csv.substr(pos, end - pos));
+        if (!name.empty()) {
+            if (const WorkloadProfile *profile = findWorkload(name))
+                out.push_back(*profile);
+            else if (unknown != nullptr)
+                unknown->push_back(name);
+        }
+        if (comma == std::string_view::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
 } // namespace cameo

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/types.hh"
@@ -122,6 +123,16 @@ std::vector<WorkloadProfile> workloadsInCategory(WorkloadCategory category);
 
 /** Find a profile by benchmark name; nullptr if unknown. */
 const WorkloadProfile *findWorkload(const std::string &name);
+
+/**
+ * Profiles named in the comma-separated list @p csv, in list order.
+ * Empty tokens are skipped; names that match no profile are dropped
+ * and appended to @p unknown (when non-null) so callers can warn
+ * instead of silently narrowing the sweep.
+ */
+std::vector<WorkloadProfile>
+workloadsByNames(std::string_view csv,
+                 std::vector<std::string> *unknown = nullptr);
 
 } // namespace cameo
 

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cerrno>
 #include <cmath>
 #include <cstdlib>
+
+#include "util/env.hh"
 
 namespace cameo
 {
@@ -57,27 +58,24 @@ CliParser::getUint(const std::string &name, std::uint64_t def) const
     if (it == flags_.end())
         return def;
     const std::string &text = it->second;
-    // Strict grammar: one or more decimal digits and nothing else.
-    // This rejects partial parses ("8x"), signs ("-5" would wrap
-    // through strtoull to a huge value), whitespace, and empty values.
-    const bool digits_only =
-        !text.empty() &&
-        std::all_of(text.begin(), text.end(), [](unsigned char c) {
-            return std::isdigit(c) != 0;
-        });
-    if (!digits_only) {
+    // Strict shared grammar (util/env.hh): one or more decimal digits
+    // and nothing else. This rejects partial parses ("8x"), signs
+    // ("-5" would wrap through strtoull to a huge value), whitespace,
+    // empty values, and overflow.
+    std::uint64_t v = 0;
+    switch (parseUintStrict(text, v)) {
+      case ParseUintStatus::Ok:
+        return v;
+      case ParseUintStatus::Invalid:
         errors_.push_back("--" + name + ": expected an integer, got '" +
                           text + "'");
         return def;
-    }
-    errno = 0;
-    const std::uint64_t v = std::strtoull(text.c_str(), nullptr, 10);
-    if (errno == ERANGE) {
+      case ParseUintStatus::Overflow:
         errors_.push_back("--" + name + ": value out of range: '" + text +
                           "'");
         return def;
     }
-    return v;
+    return def;
 }
 
 double

@@ -1,0 +1,53 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+#include <limits>
+
+namespace cameo
+{
+
+ParseUintStatus
+parseUintStrict(std::string_view text, std::uint64_t &out)
+{
+    if (text.empty())
+        return ParseUintStatus::Invalid;
+    std::uint64_t value = 0;
+    for (const char ch : text) {
+        if (ch < '0' || ch > '9')
+            return ParseUintStatus::Invalid;
+        const std::uint64_t digit = static_cast<std::uint64_t>(ch - '0');
+        if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            return ParseUintStatus::Overflow;
+        value = value * 10 + digit;
+    }
+    out = value;
+    return ParseUintStatus::Ok;
+}
+
+std::optional<std::uint64_t>
+envUint(const char *name, std::string *error)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr)
+        return std::nullopt;
+    std::uint64_t value = 0;
+    switch (parseUintStrict(text, value)) {
+      case ParseUintStatus::Ok:
+        return value;
+      case ParseUintStatus::Invalid:
+        if (error != nullptr) {
+            *error = std::string(name) +
+                     ": expected an unsigned integer, got '" + text + "'";
+        }
+        return std::nullopt;
+      case ParseUintStatus::Overflow:
+        if (error != nullptr) {
+            *error =
+                std::string(name) + ": value out of range: '" + text + "'";
+        }
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+} // namespace cameo

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Strict parsing of numeric configuration text (environment variables
+ * and command-line values).
+ *
+ * std::strtoull silently accepts partial input ("8x" parses as 8) and
+ * wraps negative values to huge unsigneds; every knob that reads a
+ * number from the environment or the command line routes through the
+ * strict grammar here instead: one or more decimal digits, nothing
+ * else, and no overflow. CliParser::getUint and the bench env-var
+ * overrides (CAMEO_BENCH_ACCESSES, CAMEO_BENCH_JOBS) share this code
+ * so they reject the same inputs with the same wording.
+ */
+
+#ifndef CAMEO_UTIL_ENV_HH
+#define CAMEO_UTIL_ENV_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cameo
+{
+
+/** Outcome of a strict unsigned-integer parse. */
+enum class ParseUintStatus
+{
+    Ok,       ///< Parsed; the out-parameter holds the value.
+    Invalid,  ///< Empty, non-digit characters, sign, or whitespace.
+    Overflow, ///< All digits but the value exceeds std::uint64_t.
+};
+
+/**
+ * Parse @p text as an unsigned decimal integer under the strict
+ * grammar (digits only, whole token, no overflow). On Ok, @p out holds
+ * the value; otherwise @p out is untouched.
+ */
+ParseUintStatus parseUintStrict(std::string_view text, std::uint64_t &out);
+
+/**
+ * Read environment variable @p name as a strict unsigned integer.
+ *
+ * Returns nullopt when the variable is unset *or* malformed; the two
+ * cases are distinguished via @p error, which (when non-null) receives
+ * a human-readable "NAME: ..." message for malformed values and is
+ * left untouched when the variable is unset or parses cleanly.
+ */
+std::optional<std::uint64_t> envUint(const char *name,
+                                     std::string *error = nullptr);
+
+} // namespace cameo
+
+#endif // CAMEO_UTIL_ENV_HH

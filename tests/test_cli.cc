@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "dram/dram_module.hh"
 #include "stats/registry.hh"
 #include "util/cli.hh"
+#include "util/env.hh"
 
 namespace cameo
 {
@@ -224,6 +226,85 @@ TEST(RefreshTest, ThroughputCostMatchesDutyCycle)
         static_cast<double>(done_r) / static_cast<double>(done_p);
     EXPECT_GT(ratio, 1.0);
     EXPECT_LT(ratio, 1.35);
+}
+
+TEST(ParseUintStrictTest, AcceptsPlainDecimal)
+{
+    std::uint64_t out = 0;
+    EXPECT_EQ(parseUintStrict("0", out), ParseUintStatus::Ok);
+    EXPECT_EQ(out, 0u);
+    EXPECT_EQ(parseUintStrict("200000", out), ParseUintStatus::Ok);
+    EXPECT_EQ(out, 200'000u);
+    EXPECT_EQ(parseUintStrict("18446744073709551615", out),
+              ParseUintStatus::Ok);
+    EXPECT_EQ(out, UINT64_MAX);
+}
+
+TEST(ParseUintStrictTest, RejectsTrailingGarbage)
+{
+    // strtoull would silently accept all of these (value 12 / 0).
+    std::uint64_t out = 0;
+    EXPECT_EQ(parseUintStrict("12x", out), ParseUintStatus::Invalid);
+    EXPECT_EQ(parseUintStrict("12 ", out), ParseUintStatus::Invalid);
+    EXPECT_EQ(parseUintStrict(" 12", out), ParseUintStatus::Invalid);
+    EXPECT_EQ(parseUintStrict("0x10", out), ParseUintStatus::Invalid);
+    EXPECT_EQ(parseUintStrict("12.5", out), ParseUintStatus::Invalid);
+    EXPECT_EQ(parseUintStrict("-3", out), ParseUintStatus::Invalid);
+    EXPECT_EQ(parseUintStrict("+3", out), ParseUintStatus::Invalid);
+    EXPECT_EQ(parseUintStrict("", out), ParseUintStatus::Invalid);
+}
+
+TEST(ParseUintStrictTest, RejectsOverflow)
+{
+    std::uint64_t out = 0;
+    EXPECT_EQ(parseUintStrict("18446744073709551616", out),
+              ParseUintStatus::Overflow);
+    EXPECT_EQ(parseUintStrict("99999999999999999999999", out),
+              ParseUintStatus::Overflow);
+}
+
+TEST(EnvUintTest, ReadsWellFormedValue)
+{
+    ASSERT_EQ(setenv("CAMEO_TEST_ENV_UINT", "4096", 1), 0);
+    std::string error;
+    const auto value = envUint("CAMEO_TEST_ENV_UINT", &error);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, 4096u);
+    EXPECT_TRUE(error.empty());
+    unsetenv("CAMEO_TEST_ENV_UINT");
+}
+
+TEST(EnvUintTest, UnsetIsSilentlyAbsent)
+{
+    unsetenv("CAMEO_TEST_ENV_UINT");
+    std::string error;
+    EXPECT_FALSE(envUint("CAMEO_TEST_ENV_UINT", &error).has_value());
+    EXPECT_TRUE(error.empty());
+}
+
+TEST(EnvUintTest, MalformedValueReportsError)
+{
+    ASSERT_EQ(setenv("CAMEO_TEST_ENV_UINT", "20000f", 1), 0);
+    std::string error;
+    EXPECT_FALSE(envUint("CAMEO_TEST_ENV_UINT", &error).has_value());
+    EXPECT_EQ(error, "CAMEO_TEST_ENV_UINT: expected an unsigned "
+                     "integer, got '20000f'");
+
+    ASSERT_EQ(setenv("CAMEO_TEST_ENV_UINT", "18446744073709551616", 1),
+              0);
+    EXPECT_FALSE(envUint("CAMEO_TEST_ENV_UINT", &error).has_value());
+    EXPECT_EQ(error, "CAMEO_TEST_ENV_UINT: value out of range: "
+                     "'18446744073709551616'");
+    unsetenv("CAMEO_TEST_ENV_UINT");
+}
+
+TEST(CliParserTest, GetUintRejectsTrailingGarbage)
+{
+    const auto cli = parse({"--accesses=12x"});
+    EXPECT_EQ(cli.getUint("accesses", 7), 7u);
+    ASSERT_EQ(cli.errors().size(), 1u);
+    EXPECT_NE(cli.errors()[0].find("expected an integer"),
+              std::string::npos);
 }
 
 } // namespace

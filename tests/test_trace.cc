@@ -242,5 +242,38 @@ TEST_F(GeneratorTest, PageHeatProfileIsDeterministicAndMatchesStream)
     EXPECT_EQ(total, 20000u);
 }
 
+TEST(WorkloadSelectionTest, ByNamesSplitsCsvInOrder)
+{
+    std::vector<std::string> unknown;
+    const auto selected = workloadsByNames("mcf,milc,soplex", &unknown);
+    ASSERT_EQ(selected.size(), 3u);
+    EXPECT_EQ(selected[0].name, "mcf");
+    EXPECT_EQ(selected[1].name, "milc");
+    EXPECT_EQ(selected[2].name, "soplex");
+    EXPECT_TRUE(unknown.empty());
+}
+
+TEST(WorkloadSelectionTest, ByNamesReportsUnknownAndSkipsEmpty)
+{
+    std::vector<std::string> unknown;
+    const auto selected =
+        workloadsByNames(",mcf,,bogus,milc,nope,", &unknown);
+    ASSERT_EQ(selected.size(), 2u);
+    EXPECT_EQ(selected[0].name, "mcf");
+    EXPECT_EQ(selected[1].name, "milc");
+    ASSERT_EQ(unknown.size(), 2u);
+    EXPECT_EQ(unknown[0], "bogus");
+    EXPECT_EQ(unknown[1], "nope");
+}
+
+TEST(WorkloadSelectionTest, ByNamesEmptyInputSelectsNothing)
+{
+    std::vector<std::string> unknown;
+    EXPECT_TRUE(workloadsByNames("", &unknown).empty());
+    EXPECT_TRUE(unknown.empty());
+    // The null out-param form must also be safe.
+    EXPECT_TRUE(workloadsByNames("bogus").empty());
+}
+
 } // namespace
 } // namespace cameo
