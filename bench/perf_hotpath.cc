@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Hot-path throughput microbench: wall-clock simulated accesses per
+ * second for each memory organization.
+ *
+ * Unlike the figure/table benches, this one measures the *simulator*,
+ * not the simulated machine: it times complete single-threaded runs
+ * (core model + TLB + page table + L3 + organization) with the
+ * sanctioned exp/Stopwatch and reports accesses/sec. The numbers seed
+ * the bench trajectory for perf PRs: rerun on the same machine before
+ * and after a change to see hot-path speedups (simulated stats must
+ * stay bit-identical; test_golden proves that separately).
+ *
+ * Environment:
+ *   CAMEO_BENCH_ACCESSES     accesses per core per run (default 200K)
+ *   CAMEO_BENCH_REPS         timed repetitions per organization; the
+ *                            best (highest-throughput) rep is reported
+ *                            (default 3)
+ *   CAMEO_BENCH_HOTPATH_OUT  output JSON path
+ *                            (default BENCH_hotpath.json)
+ *
+ * Output: a stdout table plus a JSON file with one record per
+ * organization, consumed by CI's perf-smoke artifact upload.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "exp/stopwatch.hh"
+#include "system/system.hh"
+
+namespace
+{
+
+/** One organization's measured throughput. */
+struct HotpathResult
+{
+    std::string org;
+    std::uint64_t accesses = 0;
+    double bestSeconds = 0.0;
+    double accessesPerSec = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace cameo;
+    using namespace cameo::bench;
+
+    SystemConfig config = benchConfig();
+
+    std::string error;
+    std::uint64_t reps = 3;
+    if (const auto v = envUint("CAMEO_BENCH_REPS", &error))
+        reps = *v;
+    if (!error.empty())
+        std::cerr << "warning: " << error << " (using default " << reps
+                  << ")\n";
+    if (reps == 0)
+        reps = 1;
+
+    const char *out_env = std::getenv("CAMEO_BENCH_HOTPATH_OUT");
+    const std::string out_path =
+        out_env != nullptr ? out_env : "BENCH_hotpath.json";
+
+    // The workload exercises every hot path: streaming pages (TLB +
+    // page-table pressure), pointer chasing (dependence stalls), and a
+    // hot set (L3 hits). mcf is the paper's canonical memory-bound
+    // benchmark and part of the golden matrix.
+    const WorkloadProfile &workload = *findWorkload("mcf");
+
+    const std::vector<std::pair<std::string, OrgKind>> orgs{
+        {"Baseline", OrgKind::Baseline},
+        {"AlloyCache", OrgKind::AlloyCache},
+        {"CAMEO", OrgKind::Cameo},
+        {"TLM-Dynamic", OrgKind::TlmDynamic},
+    };
+
+    std::cout << "Hot-path throughput: simulated accesses/sec per "
+                 "organization\n"
+              << "(workload " << workload.name << ", "
+              << config.accessesPerCore << " accesses x "
+              << config.numCores << " cores, best of " << reps
+              << " reps)\n\n";
+
+    std::vector<HotpathResult> results;
+    for (const auto &[label, kind] : orgs) {
+        HotpathResult r;
+        r.org = label;
+        for (std::uint64_t rep = 0; rep < reps; ++rep) {
+            Stopwatch watch;
+            const RunResult run = runWorkload(config, kind, workload);
+            const double secs = watch.seconds();
+            if (rep == 0 || secs < r.bestSeconds) {
+                r.bestSeconds = secs;
+                r.accesses = run.accesses;
+            }
+        }
+        r.accessesPerSec =
+            r.bestSeconds > 0.0
+                ? static_cast<double>(r.accesses) / r.bestSeconds
+                : 0.0;
+        std::printf("  %-12s %10llu accesses  %8.3f s  %12.0f acc/s\n",
+                    r.org.c_str(),
+                    static_cast<unsigned long long>(r.accesses),
+                    r.bestSeconds, r.accessesPerSec);
+        std::fflush(stdout);
+        results.push_back(std::move(r));
+    }
+
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+        std::cerr << "error: cannot write " << out_path << "\n";
+        return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"perf_hotpath\",\n"
+        << "  \"workload\": \"" << workload.name << "\",\n"
+        << "  \"accesses_per_core\": " << config.accessesPerCore << ",\n"
+        << "  \"num_cores\": " << config.numCores << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const HotpathResult &r = results[i];
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "    {\"org\": \"%s\", \"accesses\": %llu, "
+                      "\"best_seconds\": %.6f, "
+                      "\"accesses_per_sec\": %.1f}%s\n",
+                      r.org.c_str(),
+                      static_cast<unsigned long long>(r.accesses),
+                      r.bestSeconds, r.accessesPerSec,
+                      i + 1 < results.size() ? "," : "");
+        out << line;
+    }
+    out << "  ]\n}\n";
+    out.close();
+    std::cout << "\nwrote " << out_path << "\n";
+    return out.good() ? 0 : 1;
+}

@@ -28,4 +28,9 @@ echo "===================================================================="
 echo "===== bench/micro_components"
 echo "===================================================================="
 ./build/bench/micro_components --benchmark_min_time=0.2
-} 
+echo
+echo "===================================================================="
+echo "===== bench/perf_hotpath (simulator throughput -> BENCH_hotpath.json)"
+echo "===================================================================="
+./build/bench/perf_hotpath
+}

@@ -1,6 +1,5 @@
 #include "cache/set_assoc_cache.hh"
 
-#include <array>
 #include <cassert>
 
 #include "util/bitops.hh"
@@ -46,14 +45,28 @@ SetAssocCache::access(LineAddr line, bool is_write)
 
     misses_.inc();
 
-    // Victim selection over this set's metadata (stack buffer: the
-    // miss path is hot and must not allocate).
-    std::array<WayMeta, kMaxWays> metas;
-    assert(ways_ <= kMaxWays);
-    for (std::uint32_t w = 0; w < ways_; ++w)
-        metas[w] = base[w].meta;
-    const std::uint32_t victim = chooseVictim(
-        std::span<const WayMeta>(metas.data(), ways_), policy_, rng_);
+    // Victim selection directly over this set's ways — the same
+    // decision procedure as chooseVictim (first invalid way, else the
+    // policy), scanned in place because the miss path runs per access
+    // and must neither allocate nor copy metadata.
+    std::uint32_t victim = ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].meta.valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ways_) {
+        if (policy_ == ReplPolicy::Random) {
+            victim = static_cast<std::uint32_t>(rng_.next(ways_));
+        } else {
+            victim = 0;
+            for (std::uint32_t w = 1; w < ways_; ++w) {
+                if (base[w].meta.lastUse < base[victim].meta.lastUse)
+                    victim = w;
+            }
+        }
+    }
 
     CacheAccessResult result{false, std::nullopt};
     Way &way = base[victim];

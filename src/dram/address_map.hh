@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "dram/timings.hh"
+#include "util/bitops.hh"
 #include "util/types.hh"
 
 namespace cameo
@@ -40,20 +41,41 @@ class DramAddressMap
   public:
     explicit DramAddressMap(const DramTimings &timings)
         : channels_(timings.channels), banks_(timings.banksPerChannel),
-          linesPerRow_(timings.linesPerRow)
+          linesPerRow_(timings.linesPerRow),
+          chanShift_(shiftFor(channels_)), bankShift_(shiftFor(banks_)),
+          rowShift_(shiftFor(linesPerRow_))
     {}
 
-    /** Decode a device line address. */
+    /**
+     * Decode a device line address. decode() runs once or more per
+     * simulated access, so power-of-two channel/bank/row geometries
+     * (every configuration except the 31-LEAD / 28-TAD reduced rows)
+     * take a shift/mask path instead of 64-bit division; both paths
+     * compute the identical coordinate.
+     */
     DramCoord decode(std::uint64_t device_line) const
     {
         // XOR-fold page/row bits into the channel index so strided
         // accesses still spread (permutation interleaving).
         const std::uint64_t chan_key =
             device_line ^ (device_line >> 7) ^ (device_line >> 13);
-        const std::uint64_t chan = chan_key % channels_;
-        const std::uint64_t within = device_line / channels_;
-        const std::uint64_t row_seq = within / linesPerRow_;
+        const std::uint64_t chan = chanShift_ >= 0
+                                       ? chan_key & (channels_ - 1)
+                                       : chan_key % channels_;
+        const std::uint64_t within = chanShift_ >= 0
+                                         ? device_line >> chanShift_
+                                         : device_line / channels_;
+        const std::uint64_t row_seq = rowShift_ >= 0
+                                          ? within >> rowShift_
+                                          : within / linesPerRow_;
         const std::uint64_t bank_key = row_seq ^ (row_seq >> 5);
+        if (bankShift_ >= 0) {
+            return DramCoord{
+                static_cast<std::uint32_t>(chan),
+                static_cast<std::uint32_t>(bank_key & (banks_ - 1)),
+                row_seq >> bankShift_,
+            };
+        }
         return DramCoord{
             static_cast<std::uint32_t>(chan),
             static_cast<std::uint32_t>(bank_key % banks_),
@@ -66,9 +88,20 @@ class DramAddressMap
     std::uint32_t linesPerRow() const { return linesPerRow_; }
 
   private:
+    /** log2 of @p v when a power of two, -1 (divide path) otherwise. */
+    static std::int32_t shiftFor(std::uint32_t v)
+    {
+        return isPowerOfTwo(v)
+                   ? static_cast<std::int32_t>(exactLog2(v))
+                   : -1;
+    }
+
     std::uint32_t channels_;
     std::uint32_t banks_;
     std::uint32_t linesPerRow_;
+    std::int32_t chanShift_;
+    std::int32_t bankShift_;
+    std::int32_t rowShift_;
 };
 
 } // namespace cameo

@@ -16,6 +16,14 @@ DramModule::DramModule(std::string name, const DramTimings &timings,
                                      timings.rasCycles(),
                                      timings.rpCycles()}),
 #endif
+      casCyc_(timings.casCycles()), rcdCyc_(timings.rcdCycles()),
+      rpCyc_(timings.rpCycles()), rasCyc_(timings.rasCycles()),
+      refiCyc_(timings.refiCycles()), rfcCyc_(timings.rfcCycles()),
+      bytesPerBeat_(timings.bytesPerBeat()),
+      cyclesPerBeat_(timings.cpuCyclesPerBeat()),
+      beatShift_(isPowerOfTwo(bytesPerBeat_)
+                     ? static_cast<std::int32_t>(exactLog2(bytesPerBeat_))
+                     : -1),
       reads_(name_ + ".reads", "read accesses"),
       writes_(name_ + ".writes", "write accesses"),
       readBytes_(name_ + ".readBytes", "bytes moved by reads"),
@@ -53,7 +61,7 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
         // charged half a burst of shared-bus time; byte counters (the
         // Table IV figures) are exact.
         const Tick start = std::max(now, chan.busReadyTick);
-        const Tick burst = timings_.burstCycles(burst_bytes);
+        const Tick burst = burstCyclesFast(burst_bytes);
         const Tick done = start + burst;
         chan.busReadyTick = start + std::max<Tick>(1, burst / 2);
         writes_.inc();
@@ -65,10 +73,9 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
     // All-bank refresh: commands issued during a refresh window wait
     // for it to complete (tREFI period, tRFC duration).
     if (timings_.tRefi != 0) {
-        const Tick refi = timings_.refiCycles();
-        const Tick phase = start % refi;
-        if (phase < timings_.rfcCycles()) {
-            start += timings_.rfcCycles() - phase;
+        const Tick phase = start % refiCyc_;
+        if (phase < rfcCyc_) {
+            start += rfcCyc_ - phase;
             refreshStalls_.inc();
         }
     }
@@ -76,7 +83,7 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
     switch (bank.outcomeFor(coord.row)) {
       case RowOutcome::Hit:
         rowHits_.inc();
-        issue_done = start + timings_.casCycles();
+        issue_done = start + casCyc_;
 #if CAMEO_AUDIT_ENABLED
         protoAudit_.onColumn(coord.channel, coord.bank, coord.row, start);
 #endif
@@ -84,28 +91,27 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
       case RowOutcome::Closed:
         rowClosed_.inc();
         bank.activateTick = start;
-        issue_done = start + timings_.rcdCycles() + timings_.casCycles();
+        issue_done = start + rcdCyc_ + casCyc_;
 #if CAMEO_AUDIT_ENABLED
         protoAudit_.onActivate(coord.channel, coord.bank, coord.row, start);
         protoAudit_.onColumn(coord.channel, coord.bank, coord.row,
-                             start + timings_.rcdCycles());
+                             start + rcdCyc_);
 #endif
         break;
       case RowOutcome::Conflict: {
         rowConflicts_.inc();
         // Precharge may not begin before tRAS elapses from activation.
         const Tick pre_start =
-            std::max(start, bank.activateTick + timings_.rasCycles());
-        const Tick act_start = pre_start + timings_.rpCycles();
+            std::max(start, bank.activateTick + rasCyc_);
+        const Tick act_start = pre_start + rpCyc_;
         bank.activateTick = act_start;
-        issue_done =
-            act_start + timings_.rcdCycles() + timings_.casCycles();
+        issue_done = act_start + rcdCyc_ + casCyc_;
 #if CAMEO_AUDIT_ENABLED
         protoAudit_.onPrecharge(coord.channel, coord.bank, pre_start);
         protoAudit_.onActivate(coord.channel, coord.bank, coord.row,
                                act_start);
         protoAudit_.onColumn(coord.channel, coord.bank, coord.row,
-                             act_start + timings_.rcdCycles());
+                             act_start + rcdCyc_);
 #endif
         break;
       }
@@ -115,7 +121,7 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
     bank.openRow = coord.row;
 
     // Data transfer occupies the channel bus.
-    const Tick burst = timings_.burstCycles(burst_bytes);
+    const Tick burst = burstCyclesFast(burst_bytes);
     const Tick data_start = std::max(issue_done, chan.busReadyTick);
     const Tick done = data_start + burst;
     chan.busReadyTick = done;

@@ -124,11 +124,34 @@ class DramModule
     void reset();
 
   private:
+    /** Data-transfer time for @p bytes using the constants cached at
+     *  construction (equal to timings_.burstCycles, division-free). */
+    Tick burstCyclesFast(std::uint32_t bytes) const
+    {
+        const std::uint32_t beats =
+            beatShift_ >= 0
+                ? (bytes + bytesPerBeat_ - 1) >> beatShift_
+                : (bytes + bytesPerBeat_ - 1) / bytesPerBeat_;
+        return static_cast<Tick>(beats) * cyclesPerBeat_;
+    }
+
     std::string name_;
     DramTimings timings_;
     DramAddressMap map_;
     std::uint64_t capacityLines_;
     std::vector<Channel> channels_;
+
+    // Per-access timing constants, derived from timings_ once so the
+    // hot path never re-divides clock ratios.
+    Tick casCyc_;
+    Tick rcdCyc_;
+    Tick rpCyc_;
+    Tick rasCyc_;
+    Tick refiCyc_;
+    Tick rfcCyc_;
+    std::uint32_t bytesPerBeat_;
+    std::uint32_t cyclesPerBeat_;
+    std::int32_t beatShift_;
 
 #if CAMEO_AUDIT_ENABLED
     /** Shadow protocol checker fed with every read's implied commands. */

@@ -16,12 +16,12 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "core/cameo_controller.hh"
 #include "dram/dram_module.hh"
 #include "dram/timings.hh"
 #include "stats/registry.hh"
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace cameo
@@ -75,8 +75,9 @@ struct OrgConfig
     std::uint32_t tlmMigrateThreshold = 2;
 };
 
-/** Oracular page heat keyed by (core, vpage); see TlmOracleOrg. */
-using PageHeatMap = std::unordered_map<std::uint64_t, std::uint64_t>;
+/** Oracular page heat keyed by (core, vpage); see TlmOracleOrg. Open
+ *  addressing (util/flat_map.hh): probed on every page-map event. */
+using PageHeatMap = FlatMap<std::uint64_t, std::uint64_t>;
 
 /** Key for PageHeatMap entries. */
 constexpr std::uint64_t

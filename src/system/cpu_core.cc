@@ -88,7 +88,7 @@ CpuCore::step()
     }
 
     if (!inflight_) {
-        const Access acc = source_->next();
+        const Access acc = fetchAccess();
         ++processed_;
         instructions_ += acc.gapInstructions;
         // Compute phase between memory operations.
@@ -118,6 +118,20 @@ CpuCore::step()
     }
 
     finishAccess();
+}
+
+Access
+CpuCore::fetchAccess()
+{
+    if (ringPos_ == ringLen_) {
+        assert(processed_ < numAccesses_);
+        const std::uint64_t remaining = numAccesses_ - processed_;
+        ringLen_ = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(kRefillBatch, remaining));
+        source_->refill(ring_.data(), ringLen_);
+        ringPos_ = 0;
+    }
+    return ring_[ringPos_++];
 }
 
 Tick

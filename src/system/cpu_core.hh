@@ -25,6 +25,7 @@
 #ifndef CAMEO_SYSTEM_CPU_CORE_HH
 #define CAMEO_SYSTEM_CPU_CORE_HH
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -97,11 +98,21 @@ class CpuCore : public Agent
         bool isLoad;
     };
 
+    /** Records pulled from the source per refill() virtual call. */
+    static constexpr std::uint32_t kRefillBatch = 64;
+
     /** Issue the pending miss if a window slot is free; else yield. */
     void tryIssuePendingMiss();
 
     /** L3 + memory for the in-flight access (after translation). */
     void finishAccess();
+
+    /**
+     * Next trace record, served from the refill ring. Refills pull at
+     * most the records this core will still process, so the source is
+     * never advanced past the trace length.
+     */
+    Access fetchAccess();
 
     std::uint32_t id_;
     std::unique_ptr<AccessSource> source_;
@@ -121,6 +132,11 @@ class CpuCore : public Agent
     std::optional<PendingMiss> pendingMiss_;
     std::uint64_t processed_ = 0;
     std::uint64_t instructions_ = 0;
+
+    /** Ring of prefetched trace records (see fetchAccess). */
+    std::array<Access, kRefillBatch> ring_{};
+    std::uint32_t ringPos_ = 0;
+    std::uint32_t ringLen_ = 0;
 };
 
 } // namespace cameo

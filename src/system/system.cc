@@ -48,13 +48,24 @@ System::System(const SystemConfig &config, OrgKind kind,
     };
 
     // TLM-Oracle: replay the deterministic sources standalone to build
-    // the oracular page-heat profile before any simulation.
+    // the oracular page-heat profile before any simulation. Footprint
+    // hints size both maps up front so the profiling pass never
+    // rehashes.
     if (kind_ == OrgKind::TlmOracle) {
-        PageHeatMap heat;
+        const auto pages_hint = [&](std::uint32_t c) -> std::size_t {
+            const GeneratorParams gp =
+                config_.generatorParamsFor(profileFor(c));
+            return static_cast<std::size_t>(
+                (gp.footprintBytes + gp.hotSetBytes) / kPageBytes + 2);
+        };
+        std::size_t total_hint = 0;
+        for (std::uint32_t c = 0; c < config_.numCores; ++c)
+            total_hint += pages_hint(c);
+        PageHeatMap heat(total_hint);
         for (std::uint32_t c = 0; c < config_.numCores; ++c) {
             const auto source = make_source(c);
-            const auto core_heat =
-                profilePageHeat(*source, config_.accessesPerCore);
+            const auto core_heat = profilePageHeat(
+                *source, config_.accessesPerCore, pages_hint(c));
             for (const auto &[vpage, count] : core_heat)
                 heat[pageHeatKey(c, vpage)] += count;
         }

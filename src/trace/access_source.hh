@@ -6,10 +6,18 @@
  * The bundled SyntheticGenerator is one implementation; TraceReader
  * (trace_file.hh) replays recorded traces, which is how users with
  * real application traces (Pin, DynamoRIO, gem5) drive this simulator.
+ *
+ * The primary interface is batched: refill() produces a block of
+ * records per virtual call, so the per-record cost on the simulation
+ * hot path is a buffer read instead of a virtual dispatch (CpuCore
+ * keeps a small ring it refills from; see system/cpu_core.hh). The
+ * single-record next() shim remains for tests and offline tools.
  */
 
 #ifndef CAMEO_TRACE_ACCESS_SOURCE_HH
 #define CAMEO_TRACE_ACCESS_SOURCE_HH
+
+#include <cstddef>
 
 #include "trace/access.hh"
 
@@ -23,11 +31,22 @@ class AccessSource
     virtual ~AccessSource() = default;
 
     /**
-     * Produce the next access. Sources never exhaust: finite sources
-     * (trace files) wrap around, which matches the paper's rate-mode
-     * methodology of running fixed-length representative slices.
+     * Produce the next @p n accesses into @p buf. Sources never
+     * exhaust: finite sources (trace files) wrap around, which matches
+     * the paper's rate-mode methodology of running fixed-length
+     * representative slices. Record i+1 of a batch is defined to be
+     * the record a second refill (or next()) call would have produced,
+     * so batch boundaries never change the stream.
      */
-    virtual Access next() = 0;
+    virtual void refill(Access *buf, std::size_t n) = 0;
+
+    /** Single-record convenience wrapper over refill(). */
+    Access next()
+    {
+        Access access;
+        refill(&access, 1);
+        return access;
+    }
 };
 
 } // namespace cameo

@@ -207,8 +207,16 @@ SyntheticGenerator::hotAddr()
     return composeAddr(page, line_idx, 0);
 }
 
+void
+SyntheticGenerator::refill(Access *buf, std::size_t n)
+{
+    // One virtual call per batch; generate() and the RNG inline here.
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = generate();
+}
+
 Access
-SyntheticGenerator::next()
+SyntheticGenerator::generate()
 {
     if (burstLeft_ == 0)
         startBurst();
@@ -246,21 +254,32 @@ SyntheticGenerator::next()
     return acc;
 }
 
-std::unordered_map<PageAddr, std::uint64_t>
+PageHeatProfile
 profilePageHeat(const WorkloadProfile &profile,
                 const GeneratorParams &params, std::uint64_t seed,
                 std::uint64_t num_accesses)
 {
     SyntheticGenerator gen(profile, params, seed);
-    return profilePageHeat(gen, num_accesses);
+    return profilePageHeat(
+        gen, num_accesses,
+        static_cast<std::size_t>(gen.numPages() + gen.hotPages()));
 }
 
-std::unordered_map<PageAddr, std::uint64_t>
-profilePageHeat(AccessSource &source, std::uint64_t num_accesses)
+PageHeatProfile
+profilePageHeat(AccessSource &source, std::uint64_t num_accesses,
+                std::size_t footprint_pages_hint)
 {
-    std::unordered_map<PageAddr, std::uint64_t> heat;
-    for (std::uint64_t i = 0; i < num_accesses; ++i)
-        ++heat[pageOf(source.next().vaddr)];
+    PageHeatProfile heat(footprint_pages_hint);
+    std::array<Access, 256> buf;
+    std::uint64_t remaining = num_accesses;
+    while (remaining > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(buf.size(), remaining));
+        source.refill(buf.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ++heat[pageOf(buf[i].vaddr)];
+        remaining -= n;
+    }
     return heat;
 }
 

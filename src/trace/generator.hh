@@ -24,12 +24,12 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/access.hh"
 #include "trace/access_source.hh"
 #include "trace/workloads.hh"
+#include "util/flat_map.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -56,8 +56,8 @@ class SyntheticGenerator : public AccessSource
     SyntheticGenerator(const WorkloadProfile &profile,
                        const GeneratorParams &params, std::uint64_t seed);
 
-    /** Produce the next access. Never exhausts. */
-    Access next() override;
+    /** Produce the next @p n accesses. Never exhausts. */
+    void refill(Access *buf, std::size_t n) override;
 
     const WorkloadProfile &profile() const { return profile_; }
     std::uint64_t numPages() const { return numPages_; }
@@ -72,6 +72,7 @@ class SyntheticGenerator : public AccessSource
     };
 
     void startBurst();
+    Access generate();
     Addr streamAddr();
     Addr pointerAddr();
     Addr hotAddr();
@@ -138,19 +139,28 @@ class SyntheticGenerator : public AccessSource
     InstAddr pointerPc_ = 0;
 };
 
+/** Per-page access histogram produced by the profiling pre-pass. */
+using PageHeatProfile = FlatMap<PageAddr, std::uint64_t>;
+
 /**
  * Page-access histogram of the first @p num_accesses of the stream a
  * fresh generator with identical arguments would produce. Used by
  * TLM-Oracle as its oracular frequency profile.
  */
-std::unordered_map<PageAddr, std::uint64_t>
+PageHeatProfile
 profilePageHeat(const WorkloadProfile &profile,
                 const GeneratorParams &params, std::uint64_t seed,
                 std::uint64_t num_accesses);
 
-/** Page-access histogram of the next @p num_accesses of @p source. */
-std::unordered_map<PageAddr, std::uint64_t>
-profilePageHeat(AccessSource &source, std::uint64_t num_accesses);
+/**
+ * Page-access histogram of the next @p num_accesses of @p source,
+ * consumed through the batched refill path. @p footprint_pages_hint,
+ * when nonzero, pre-reserves the histogram so profiling long traces
+ * never rehashes.
+ */
+PageHeatProfile
+profilePageHeat(AccessSource &source, std::uint64_t num_accesses,
+                std::size_t footprint_pages_hint = 0);
 
 } // namespace cameo
 

@@ -1,5 +1,6 @@
 #include "trace/trace_file.hh"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstring>
@@ -128,12 +129,23 @@ TraceReader::TraceReader(const std::string &path)
         throw std::runtime_error("empty trace file: " + path);
 }
 
-Access
-TraceReader::next()
+void
+TraceReader::refill(Access *buf, std::size_t n)
 {
-    const Access a = records_[cursor_];
-    cursor_ = (cursor_ + 1) % records_.size();
-    return a;
+    // Chunked copies instead of a per-record modulo: one memcpy-able
+    // block per wrap of the trace.
+    while (n > 0) {
+        const std::size_t chunk =
+            std::min(n, records_.size() - cursor_);
+        std::copy_n(records_.begin() +
+                        static_cast<std::ptrdiff_t>(cursor_),
+                    chunk, buf);
+        cursor_ += chunk;
+        if (cursor_ == records_.size())
+            cursor_ = 0;
+        buf += chunk;
+        n -= chunk;
+    }
 }
 
 std::uint64_t

@@ -84,7 +84,8 @@ class TraceReader : public AccessSource
      */
     explicit TraceReader(const std::string &path);
 
-    Access next() override;
+    /** Copy the next @p n records (wrapping) into @p buf. */
+    void refill(Access *buf, std::size_t n) override;
 
     std::uint64_t size() const { return records_.size(); }
 

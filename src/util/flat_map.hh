@@ -1,0 +1,340 @@
+/**
+ * @file
+ * FlatMap / FlatSet: open-addressing hash containers for POD keys on
+ * the simulator's hot paths.
+ *
+ * std::unordered_map's node-per-element layout costs an allocation and
+ * a pointer chase per probe — measurable when the page table and heat
+ * maps are probed on every simulated access. FlatMap stores slots
+ * contiguously, probes linearly from a mix64-hashed home slot, and
+ * erases with backward shifting (no tombstones, so probe chains never
+ * degrade). Capacity is a power of two and can be pre-reserved from
+ * the workload footprint to eliminate mid-run rehashes.
+ *
+ * The interface is the std::unordered_map subset the simulator uses
+ * (operator[], find/end, contains, erase, iteration, reserve), so the
+ * containers are drop-in for the hot-path call sites and can be
+ * property-tested against the standard containers (test_flat_map.cc).
+ * Iteration order is unspecified but deterministic for a given
+ * insert/erase history — a requirement of the bit-reproducible runs.
+ */
+
+#ifndef CAMEO_UTIL_FLAT_MAP_HH
+#define CAMEO_UTIL_FLAT_MAP_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/bitops.hh"
+
+namespace cameo
+{
+
+/** Default FlatMap hash: mix64 over the key's integer value. */
+template <typename Key>
+struct FlatHash
+{
+    static_assert(std::is_integral_v<Key> || std::is_enum_v<Key>,
+                  "FlatHash requires an integral key; provide a custom "
+                  "hasher for other POD types");
+
+    std::uint64_t operator()(const Key &key) const
+    {
+        return mix64(static_cast<std::uint64_t>(key));
+    }
+};
+
+/** Open-addressing (linear probe) hash map for POD keys. */
+template <typename Key, typename Value, typename Hash = FlatHash<Key>>
+class FlatMap
+{
+    static_assert(std::is_trivially_copyable_v<Key>,
+                  "FlatMap keys must be POD");
+
+    struct Slot
+    {
+        std::pair<Key, Value> kv{};
+        bool occupied = false;
+    };
+
+    /** Grow when size * 8 would exceed capacity * 6 (75% load). */
+    static constexpr std::size_t kLoadNum = 6;
+    static constexpr std::size_t kLoadDen = 8;
+    static constexpr std::size_t kMinCapacity = 16;
+
+  public:
+    using value_type = std::pair<Key, Value>;
+
+    template <bool Const>
+    class Iter
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = std::pair<Key, Value>;
+        using difference_type = std::ptrdiff_t;
+        using pointer = std::conditional_t<Const, const value_type *,
+                                           value_type *>;
+        using reference = std::conditional_t<Const, const value_type &,
+                                             value_type &>;
+
+        Iter() = default;
+
+        reference operator*() const { return cur_->kv; }
+        pointer operator->() const { return &cur_->kv; }
+
+        Iter &operator++()
+        {
+            ++cur_;
+            skipEmpty();
+            return *this;
+        }
+
+        Iter operator++(int)
+        {
+            Iter prev = *this;
+            ++*this;
+            return prev;
+        }
+
+        bool operator==(const Iter &other) const
+        {
+            return cur_ == other.cur_;
+        }
+
+        /** Const iterators convert from mutable ones. */
+        operator Iter<true>() const
+            requires(!Const)
+        {
+            return Iter<true>(cur_, end_);
+        }
+
+      private:
+        friend class FlatMap;
+        friend class Iter<!Const>;
+
+        using SlotPtr = std::conditional_t<Const, const Slot *, Slot *>;
+
+        Iter(SlotPtr cur, SlotPtr end) : cur_(cur), end_(end)
+        {
+            skipEmpty();
+        }
+
+        void skipEmpty()
+        {
+            while (cur_ != end_ && !cur_->occupied)
+                ++cur_;
+        }
+
+        SlotPtr cur_ = nullptr;
+        SlotPtr end_ = nullptr;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    FlatMap() = default;
+
+    /** Construct with room for @p capacity elements (no rehash up to
+     *  that size). */
+    explicit FlatMap(std::size_t capacity) { reserve(capacity); }
+
+    /** Ensure capacity for @p n elements without rehashing. */
+    void reserve(std::size_t n)
+    {
+        const std::size_t want = slotsFor(n);
+        if (want > slots_.size())
+            rehash(want);
+    }
+
+    /** Value for @p key, default-constructed and inserted if absent. */
+    Value &operator[](const Key &key)
+    {
+        growIfNeeded();
+        const std::size_t idx = probe(key);
+        Slot &slot = slots_[idx];
+        if (!slot.occupied) {
+            slot.occupied = true;
+            slot.kv.first = key;
+            slot.kv.second = Value{};
+            ++size_;
+        }
+        return slot.kv.second;
+    }
+
+    iterator find(const Key &key)
+    {
+        const std::size_t idx = findIndex(key);
+        if (idx == npos())
+            return end();
+        return iterator(slots_.data() + idx, slotsEnd());
+    }
+
+    const_iterator find(const Key &key) const
+    {
+        const std::size_t idx = findIndex(key);
+        if (idx == npos())
+            return end();
+        return const_iterator(slots_.data() + idx, slotsEnd());
+    }
+
+    bool contains(const Key &key) const { return findIndex(key) != npos(); }
+
+    /**
+     * Remove @p key. Backward-shift deletion keeps probe chains
+     * tombstone-free. @return true if the key was present.
+     */
+    bool erase(const Key &key)
+    {
+        std::size_t idx = findIndex(key);
+        if (idx == npos())
+            return false;
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t hole = idx;
+        std::size_t next = (hole + 1) & mask;
+        while (slots_[next].occupied) {
+            const std::size_t home = homeOf(slots_[next].kv.first);
+            // An element may fill the hole only if the hole lies on its
+            // probe path, i.e. it is displaced at least as far from its
+            // home slot as the hole is.
+            if (((next - home) & mask) >= ((next - hole) & mask)) {
+                slots_[hole].kv = std::move(slots_[next].kv);
+                hole = next;
+            }
+            next = (next + 1) & mask;
+        }
+        slots_[hole].occupied = false;
+        slots_[hole].kv = value_type{};
+        --size_;
+        return true;
+    }
+
+    void clear()
+    {
+        for (Slot &slot : slots_)
+            slot = Slot{};
+        size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Current slot count (diagnostics; 0 until the first insert). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    iterator begin() { return iterator(slots_.data(), slotsEnd()); }
+    iterator end() { return iterator(slotsEnd(), slotsEnd()); }
+    const_iterator begin() const
+    {
+        return const_iterator(slots_.data(), slotsEnd());
+    }
+    const_iterator end() const
+    {
+        return const_iterator(slotsEnd(), slotsEnd());
+    }
+
+  private:
+    static std::size_t npos() { return ~std::size_t{0}; }
+
+    /** Smallest power-of-two slot count holding @p n at the load cap. */
+    static std::size_t slotsFor(std::size_t n)
+    {
+        if (n == 0)
+            return 0;
+        std::size_t want = kMinCapacity;
+        while (n * kLoadDen > want * kLoadNum)
+            want *= 2;
+        return want;
+    }
+
+    const Slot *slotsEnd() const { return slots_.data() + slots_.size(); }
+    Slot *slotsEnd() { return slots_.data() + slots_.size(); }
+
+    std::size_t homeOf(const Key &key) const
+    {
+        return static_cast<std::size_t>(Hash{}(key)) &
+               (slots_.size() - 1);
+    }
+
+    /** Index of @p key's slot, or the first empty slot on its chain.
+     *  Precondition: the table has at least one empty slot. */
+    std::size_t probe(const Key &key) const
+    {
+        assert(size_ < slots_.size());
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t idx = homeOf(key);
+        while (slots_[idx].occupied && slots_[idx].kv.first != key)
+            idx = (idx + 1) & mask;
+        return idx;
+    }
+
+    /** Index of @p key's occupied slot, or npos(). */
+    std::size_t findIndex(const Key &key) const
+    {
+        if (slots_.empty())
+            return npos();
+        const std::size_t idx = probe(key);
+        return slots_[idx].occupied ? idx : npos();
+    }
+
+    void growIfNeeded()
+    {
+        if (slots_.empty()) {
+            rehash(kMinCapacity);
+        } else if ((size_ + 1) * kLoadDen > slots_.size() * kLoadNum) {
+            rehash(slots_.size() * 2);
+        }
+    }
+
+    void rehash(std::size_t new_slots)
+    {
+        assert(isPowerOfTwo(new_slots));
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(new_slots, Slot{});
+        size_ = 0;
+        for (Slot &slot : old) {
+            if (slot.occupied)
+                (*this)[slot.kv.first] = std::move(slot.kv.second);
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t size_ = 0;
+};
+
+/** Open-addressing hash set for POD keys (a FlatMap with no values). */
+template <typename Key, typename Hash = FlatHash<Key>>
+class FlatSet
+{
+  public:
+    FlatSet() = default;
+
+    explicit FlatSet(std::size_t capacity) : map_(capacity) {}
+
+    void reserve(std::size_t n) { map_.reserve(n); }
+
+    /** @return true if @p key was newly inserted. */
+    bool insert(const Key &key)
+    {
+        const std::size_t before = map_.size();
+        map_[key] = 1;
+        return map_.size() != before;
+    }
+
+    bool contains(const Key &key) const { return map_.contains(key); }
+    bool erase(const Key &key) { return map_.erase(key); }
+    void clear() { map_.clear(); }
+    std::size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+
+  private:
+    FlatMap<Key, std::uint8_t, Hash> map_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_UTIL_FLAT_MAP_HH

@@ -8,6 +8,11 @@
  * (core, vpage). The table also remembers which pages have ever been
  * evicted, to distinguish major faults (SSD read) from first-touch
  * minor faults (zero-fill, no storage read).
+ *
+ * Both tables are open-addressing FlatMap/FlatSet (util/flat_map.hh):
+ * the lookup is on the per-access hot path, and the resident set is
+ * bounded by the frame count, so VirtualMemory pre-reserves capacity
+ * at construction and the table never rehashes mid-run.
  */
 
 #ifndef CAMEO_VM_PAGE_TABLE_HH
@@ -15,9 +20,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace cameo
@@ -31,6 +35,14 @@ class PageTable
 
     PageTable(const PageTable &) = delete;
     PageTable &operator=(const PageTable &) = delete;
+
+    /** Pre-size both tables for @p pages entries (no mid-run rehash
+     *  while at most that many pages are resident / were evicted). */
+    void reserve(std::size_t pages)
+    {
+        table_.reserve(pages);
+        everEvicted_.reserve(pages);
+    }
 
     /** Look up the frame for (core, vpage); nullopt if not resident. */
     std::optional<std::uint32_t> lookup(std::uint32_t core,
@@ -55,8 +67,8 @@ class PageTable
         return (static_cast<std::uint64_t>(core) << 48) | vpage;
     }
 
-    std::unordered_map<std::uint64_t, std::uint32_t> table_;
-    std::unordered_set<std::uint64_t> everEvicted_;
+    FlatMap<std::uint64_t, std::uint32_t> table_;
+    FlatSet<std::uint64_t> everEvicted_;
 };
 
 } // namespace cameo

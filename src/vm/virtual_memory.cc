@@ -6,14 +6,18 @@ namespace cameo
 {
 
 VirtualMemory::VirtualMemory(std::uint64_t visible_bytes, Tick fault_latency,
-                             std::uint64_t seed)
+                             std::uint64_t seed, bool enable_tlb)
     : allocator_(static_cast<std::uint32_t>(visible_bytes / kPageBytes),
                  seed),
-      ssd_(fault_latency),
+      tlbEnabled_(enable_tlb), ssd_(fault_latency),
       majorFaults_("vm.majorFaults", "page faults serviced from storage"),
       minorFaults_("vm.minorFaults", "first-touch (zero-fill) faults")
 {
     assert(visible_bytes >= kPageBytes);
+    // At most numFrames pages are resident at once, and the evicted-
+    // page history grows from the same pool: pre-reserving both sides
+    // keeps the hot lookup free of mid-run rehashes.
+    pageTable_.reserve(allocator_.numFrames());
 }
 
 Translation
@@ -23,11 +27,26 @@ VirtualMemory::translate(Tick now, std::uint32_t core, PageAddr vpage,
     Translation result;
     result.readyTick = now;
 
+    // Common case: the translation is cached. A hit still sets the
+    // frame's reference/dirty bits, so replacement behaves exactly as
+    // the page-table path would.
+    if (tlbEnabled_) {
+        if (const auto frame = tlb_.lookup(core, vpage)) {
+            result.frame = *frame;
+            allocator_.touch(*frame);
+            if (is_write)
+                allocator_.markDirty(*frame);
+            return result;
+        }
+    }
+
     if (const auto frame = pageTable_.lookup(core, vpage)) {
         result.frame = *frame;
         allocator_.touch(*frame);
         if (is_write)
             allocator_.markDirty(*frame);
+        if (tlbEnabled_)
+            tlb_.insert(core, vpage, *frame);
         return result;
     }
 
@@ -35,10 +54,14 @@ VirtualMemory::translate(Tick now, std::uint32_t core, PageAddr vpage,
     const FrameAllocation alloc = allocator_.allocate(core, vpage);
     if (alloc.evicted) {
         pageTable_.unmap(alloc.evicted->core, alloc.evicted->vpage);
+        if (tlbEnabled_)
+            tlb_.invalidate(alloc.evicted->core, alloc.evicted->vpage);
         if (alloc.evictedDirty)
             ssd_.writePage();
     }
     pageTable_.map(core, vpage, alloc.frame);
+    if (tlbEnabled_)
+        tlb_.insert(core, vpage, alloc.frame);
 
     if (pageTable_.wasEvicted(core, vpage)) {
         // Major fault: the page's contents live on storage.

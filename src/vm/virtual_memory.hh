@@ -23,6 +23,7 @@
 #include "vm/frame_allocator.hh"
 #include "vm/page_table.hh"
 #include "vm/ssd_model.hh"
+#include "vm/tlb.hh"
 
 namespace cameo
 {
@@ -62,9 +63,14 @@ class VirtualMemory
      * @param visible_bytes OS-visible memory capacity (whole frames).
      * @param fault_latency SSD page-fault service latency in cycles.
      * @param seed          RNG seed for frame placement/victim probes.
+     * @param enable_tlb    Per-core translation cache in front of the
+     *                      page table. On and off are bit-identical in
+     *                      every simulated stat (the cache only skips
+     *                      the hash probe); off exists as the reference
+     *                      path for the equivalence tests.
      */
     VirtualMemory(std::uint64_t visible_bytes, Tick fault_latency,
-                  std::uint64_t seed);
+                  std::uint64_t seed, bool enable_tlb = true);
 
     VirtualMemory(const VirtualMemory &) = delete;
     VirtualMemory &operator=(const VirtualMemory &) = delete;
@@ -90,6 +96,7 @@ class VirtualMemory
     const SsdModel &ssd() const { return ssd_; }
     const PageTable &pageTable() const { return pageTable_; }
     const FrameAllocator &allocator() const { return allocator_; }
+    const TranslationCache &tlb() const { return tlb_; }
 
     void registerStats(StatRegistry &registry);
 
@@ -99,6 +106,8 @@ class VirtualMemory
   private:
     FrameAllocator allocator_;
     PageTable pageTable_;
+    TranslationCache tlb_;
+    bool tlbEnabled_;
     SsdModel ssd_;
     MapHook mapHook_;
 

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Property tests for util/flat_map.hh: FlatMap and FlatSet driven
+ * against std::unordered_map / std::unordered_set with long random
+ * insert/erase/lookup sequences, plus directed edge cases (backward
+ * shift across the wrap boundary, rehash during growth, reserve).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/flat_map.hh"
+#include "util/rng.hh"
+
+namespace cameo
+{
+namespace
+{
+
+TEST(FlatMapTest, EmptyMapBasics)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), 0u);
+    EXPECT_FALSE(map.contains(7));
+    EXPECT_EQ(map.find(7), map.end());
+    EXPECT_FALSE(map.erase(7));
+    EXPECT_EQ(map.begin(), map.end());
+}
+
+TEST(FlatMapTest, InsertFindEraseRoundTrip)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    map[5] = 50;
+    map[6] = 60;
+    EXPECT_EQ(map.size(), 2u);
+    ASSERT_NE(map.find(5), map.end());
+    EXPECT_EQ(map.find(5)->second, 50u);
+    EXPECT_TRUE(map.contains(6));
+    EXPECT_TRUE(map.erase(5));
+    EXPECT_FALSE(map.contains(5));
+    EXPECT_FALSE(map.erase(5));
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructsAndUpdates)
+{
+    FlatMap<std::uint32_t, std::uint64_t> map;
+    EXPECT_EQ(map[9], 0u);
+    map[9] += 3;
+    map[9] += 4;
+    EXPECT_EQ(map[9], 7u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, ReservePreventsRehash)
+{
+    FlatMap<std::uint64_t, int> map;
+    map.reserve(1000);
+    const std::size_t cap = map.capacity();
+    EXPECT_GE(cap, 1024u + 512u); // 1000 at 75% load needs 2048 slots
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map[k] = static_cast<int>(k);
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(FlatMapTest, GrowsThroughManyRehashes)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        map[k * 0x10001] = k;
+    EXPECT_EQ(map.size(), 10000u);
+    for (std::uint64_t k = 0; k < 10000; ++k) {
+        auto it = map.find(k * 0x10001);
+        ASSERT_NE(it, map.end());
+        EXPECT_EQ(it->second, k);
+    }
+}
+
+TEST(FlatMapTest, ClearResetsButKeepsCapacity)
+{
+    FlatMap<std::uint64_t, int> map;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map[k] = 1;
+    const std::size_t cap = map.capacity();
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_FALSE(map.contains(3));
+    map[3] = 4;
+    EXPECT_EQ(map.size(), 1u);
+}
+
+/** Hash forcing every key into slot 0: probe chains become maximal and
+ *  backward-shift deletion is exercised across the wrap boundary. */
+struct CollidingHash
+{
+    std::uint64_t operator()(std::uint64_t) const { return 0; }
+};
+
+TEST(FlatMapTest, BackwardShiftWithFullCollisionChain)
+{
+    FlatMap<std::uint64_t, std::uint64_t, CollidingHash> map;
+    for (std::uint64_t k = 0; k < 11; ++k) // 11 of 16 slots, one chain
+        map[k] = k * 10;
+    // Erase from the middle, front, and back of the chain.
+    EXPECT_TRUE(map.erase(5));
+    EXPECT_TRUE(map.erase(0));
+    EXPECT_TRUE(map.erase(10));
+    for (std::uint64_t k = 0; k < 11; ++k) {
+        const bool gone = (k == 5 || k == 0 || k == 10);
+        EXPECT_EQ(map.contains(k), !gone) << "key " << k;
+        if (!gone) {
+            EXPECT_EQ(map.find(k)->second, k * 10);
+        }
+    }
+}
+
+TEST(FlatMapTest, IterationVisitsEveryElementOnce)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(42);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t k = rng.next(300);
+        map[k] = k + 1;
+        ref[k] = k + 1;
+    }
+    std::unordered_map<std::uint64_t, std::uint64_t> seen;
+    for (const auto &[k, v] : map) {
+        EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate key " << k;
+    }
+    EXPECT_EQ(seen, ref);
+    // Const iteration sees the same elements.
+    const auto &cmap = map;
+    std::size_t count = 0;
+    for (auto it = cmap.begin(); it != cmap.end(); ++it)
+        ++count;
+    EXPECT_EQ(count, ref.size());
+}
+
+TEST(FlatMapTest, PropertyRandomOpsMatchUnorderedMap)
+{
+    // Keys drawn from a small universe so inserts, hits, misses, and
+    // erases all occur; three seeds x 20K operations each.
+    for (const std::uint64_t seed : {1ull, 77ull, 123456789ull}) {
+        FlatMap<std::uint64_t, std::uint64_t> map;
+        std::unordered_map<std::uint64_t, std::uint64_t> ref;
+        Rng rng(seed);
+        for (int op = 0; op < 20000; ++op) {
+            const std::uint64_t key = rng.next(512) * 0x9e3779b9;
+            switch (rng.next(4)) {
+            case 0: // insert/overwrite
+            case 1: {
+                const std::uint64_t val = rng.next(1000);
+                map[key] = val;
+                ref[key] = val;
+                break;
+            }
+            case 2: { // lookup
+                const auto it = map.find(key);
+                const auto rit = ref.find(key);
+                ASSERT_EQ(it == map.end(), rit == ref.end());
+                if (rit != ref.end()) {
+                    ASSERT_EQ(it->first, rit->first);
+                    ASSERT_EQ(it->second, rit->second);
+                }
+                ASSERT_EQ(map.contains(key), ref.count(key) == 1);
+                break;
+            }
+            case 3: // erase
+                ASSERT_EQ(map.erase(key), ref.erase(key) == 1);
+                break;
+            }
+            ASSERT_EQ(map.size(), ref.size());
+        }
+        // Full-content equivalence at the end of the run.
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> got(
+            map.begin(), map.end());
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> want(
+            ref.begin(), ref.end());
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(got, want) << "seed " << seed;
+    }
+}
+
+TEST(FlatMapTest, PropertyCollidingHashMatchesUnorderedMap)
+{
+    // Same property under the worst-case hash: every operation walks
+    // one long chain, stressing probe and backward-shift paths.
+    FlatMap<std::uint64_t, std::uint64_t, CollidingHash> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    Rng rng(7);
+    for (int op = 0; op < 4000; ++op) {
+        const std::uint64_t key = rng.next(48);
+        if (rng.next(3) == 0) {
+            ASSERT_EQ(map.erase(key), ref.erase(key) == 1);
+        } else {
+            map[key] = op;
+            ref[key] = static_cast<std::uint64_t>(op);
+        }
+        ASSERT_EQ(map.size(), ref.size());
+        ASSERT_EQ(map.contains(key), ref.count(key) == 1);
+    }
+}
+
+TEST(FlatMapTest, DeterministicIterationOrder)
+{
+    // Identical insert/erase histories must iterate identically — the
+    // heat maps are iterated when ranking pages, so order feeds
+    // simulated decisions.
+    auto build = [] {
+        FlatMap<std::uint64_t, std::uint64_t> map;
+        Rng rng(99);
+        for (int i = 0; i < 1000; ++i)
+            map[rng.next(400)] = static_cast<std::uint64_t>(i);
+        for (int i = 0; i < 200; ++i)
+            map.erase(rng.next(400));
+        return map;
+    };
+    const auto a = build();
+    const auto b = build();
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> va(
+        a.begin(), a.end());
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> vb(
+        b.begin(), b.end());
+    EXPECT_EQ(va, vb);
+}
+
+TEST(FlatSetTest, InsertContainsErase)
+{
+    FlatSet<std::uint64_t> set;
+    EXPECT_TRUE(set.empty());
+    EXPECT_TRUE(set.insert(5));
+    EXPECT_FALSE(set.insert(5));
+    EXPECT_TRUE(set.contains(5));
+    EXPECT_FALSE(set.contains(6));
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_TRUE(set.erase(5));
+    EXPECT_FALSE(set.erase(5));
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatSetTest, PropertyRandomOpsMatchUnorderedSet)
+{
+    FlatSet<std::uint64_t> set;
+    std::unordered_set<std::uint64_t> ref;
+    Rng rng(2024);
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint64_t key = rng.next(700);
+        switch (rng.next(3)) {
+        case 0:
+            ASSERT_EQ(set.insert(key), ref.insert(key).second);
+            break;
+        case 1:
+            ASSERT_EQ(set.contains(key), ref.count(key) == 1);
+            break;
+        case 2:
+            ASSERT_EQ(set.erase(key), ref.erase(key) == 1);
+            break;
+        }
+        ASSERT_EQ(set.size(), ref.size());
+    }
+}
+
+} // namespace
+} // namespace cameo

@@ -1,17 +1,20 @@
 /**
  * @file
  * Unit tests for the virtual-memory subsystem: frame allocation with
- * the paper's clock replacement, page tables, the SSD model, and the
- * demand-paging facade.
+ * the paper's clock replacement, page tables, the SSD model, the
+ * translation cache (software TLB), and the demand-paging facade —
+ * including the TLB-on vs TLB-off bit-identity proof.
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "util/rng.hh"
 #include "vm/frame_allocator.hh"
 #include "vm/page_table.hh"
 #include "vm/ssd_model.hh"
+#include "vm/tlb.hh"
 #include "vm/virtual_memory.hh"
 
 namespace cameo
@@ -220,6 +223,124 @@ TEST(VirtualMemoryTest, FrameCountFromVisibleBytes)
     VirtualMemory vm(24ull << 20, 100000, 1);
     EXPECT_EQ(vm.numFrames(), (24ull << 20) / kPageBytes);
     EXPECT_EQ(vm.visibleBytes(), 24ull << 20);
+}
+
+TEST(TranslationCacheTest, MissThenHit)
+{
+    TranslationCache tlb;
+    EXPECT_FALSE(tlb.lookup(0, 5).has_value());
+    EXPECT_EQ(tlb.misses(), 1u);
+    tlb.insert(0, 5, 17);
+    const auto frame = tlb.lookup(0, 5);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(*frame, 17u);
+    EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST(TranslationCacheTest, PerCoreEntriesAreDisjoint)
+{
+    TranslationCache tlb;
+    tlb.insert(0, 5, 1);
+    tlb.insert(1, 5, 2);
+    EXPECT_EQ(tlb.lookup(0, 5).value(), 1u);
+    EXPECT_EQ(tlb.lookup(1, 5).value(), 2u);
+}
+
+TEST(TranslationCacheTest, DirectMappedConflictDisplaces)
+{
+    TranslationCache tlb;
+    const PageAddr a = 3;
+    const PageAddr b = 3 + TranslationCache::kEntriesPerCore;
+    tlb.insert(0, a, 10);
+    tlb.insert(0, b, 20); // same set index displaces a
+    EXPECT_FALSE(tlb.lookup(0, a).has_value());
+    EXPECT_EQ(tlb.lookup(0, b).value(), 20u);
+}
+
+TEST(TranslationCacheTest, InvalidateDropsOnlyMatchingPage)
+{
+    TranslationCache tlb;
+    const PageAddr a = 3;
+    const PageAddr b = 3 + TranslationCache::kEntriesPerCore;
+    tlb.insert(0, a, 10);
+    // Invalidating a conflicting-but-different vpage leaves a cached.
+    tlb.invalidate(0, b);
+    EXPECT_EQ(tlb.lookup(0, a).value(), 10u);
+    tlb.invalidate(0, a);
+    EXPECT_FALSE(tlb.lookup(0, a).has_value());
+    // Invalidating an unseen core is a no-op, not a crash.
+    tlb.invalidate(7, a);
+}
+
+TEST(TranslationCacheTest, FlushDropsEverything)
+{
+    TranslationCache tlb;
+    tlb.insert(0, 1, 10);
+    tlb.insert(2, 9, 30);
+    tlb.flush();
+    EXPECT_FALSE(tlb.lookup(0, 1).has_value());
+    EXPECT_FALSE(tlb.lookup(2, 9).has_value());
+}
+
+/**
+ * The bit-identity proof for the TLB: drive two VirtualMemory
+ * instances — one with the TLB, one without — through an identical
+ * access sequence on a memory small enough to force constant eviction
+ * (the case where a stale TLB entry would diverge), and require every
+ * Translation field and every simulated counter to match exactly.
+ */
+TEST(TlbEquivalenceTest, TranslationsAndCountersIdenticalUnderEviction)
+{
+    // 8 frames, 3 cores, 40-page working set per core: far beyond
+    // capacity, so nearly every access evicts someone else's page.
+    const std::uint64_t bytes = 8 * kPageBytes;
+    VirtualMemory with_tlb(bytes, 100000, 5, true);
+    VirtualMemory without_tlb(bytes, 100000, 5, false);
+
+    Rng rng(31);
+    Tick now = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const auto core = static_cast<std::uint32_t>(rng.next(3));
+        const PageAddr vpage = rng.next(40);
+        const bool write = rng.next(2) == 1;
+        now += 7;
+        const Translation a = with_tlb.translate(now, core, vpage, write);
+        const Translation b =
+            without_tlb.translate(now, core, vpage, write);
+        ASSERT_EQ(a.frame, b.frame) << "access " << i;
+        ASSERT_EQ(a.readyTick, b.readyTick) << "access " << i;
+        ASSERT_EQ(a.minorFault, b.minorFault) << "access " << i;
+        ASSERT_EQ(a.majorFault, b.majorFault) << "access " << i;
+    }
+
+    EXPECT_EQ(with_tlb.minorFaults().value(),
+              without_tlb.minorFaults().value());
+    EXPECT_EQ(with_tlb.majorFaults().value(),
+              without_tlb.majorFaults().value());
+    EXPECT_EQ(with_tlb.allocator().evictions().value(),
+              without_tlb.allocator().evictions().value());
+    EXPECT_EQ(with_tlb.ssd().pageReads().value(),
+              without_tlb.ssd().pageReads().value());
+    EXPECT_EQ(with_tlb.ssd().pageWrites().value(),
+              without_tlb.ssd().pageWrites().value());
+
+    // Sanity: the TLB actually engaged on one side and not the other.
+    EXPECT_GT(with_tlb.tlb().hits(), 0u);
+    EXPECT_EQ(without_tlb.tlb().hits() + without_tlb.tlb().misses(), 0u);
+}
+
+TEST(TlbEquivalenceTest, ResidentRehitsServedFromTlb)
+{
+    VirtualMemory vm(16 * kPageBytes, 100000, 1);
+    vm.translate(0, 0, 7, false); // fault: miss, then cached
+    const std::uint64_t misses = vm.tlb().misses();
+    for (Tick t = 1; t <= 10; ++t) {
+        const Translation tr = vm.translate(t * 10, 0, 7, false);
+        EXPECT_FALSE(tr.minorFault);
+        EXPECT_FALSE(tr.majorFault);
+    }
+    EXPECT_EQ(vm.tlb().misses(), misses);
+    EXPECT_GE(vm.tlb().hits(), 10u);
 }
 
 } // namespace

@@ -16,6 +16,10 @@ enforces:
      stay bit-reproducible (google-benchmark owns timing in ``bench/``).
   4. Hygiene: no tabs, no trailing whitespace, files end with exactly
      one newline.
+  5. No ``<unordered_map>``/``<unordered_set>`` in the hot-path
+     directories ``src/vm`` and ``src/orgs``: per-access lookups there
+     use ``util/flat_map.hh`` (open addressing, no per-node
+     allocation). Cold-path exceptions go in ``HASH_MAP_ALLOWLIST``.
 
 Usage: ``python3 tools/lint.py [repo-root]``. Exits non-zero and prints
 ``file:line: message`` for every violation.
@@ -54,6 +58,19 @@ BANNED_PATTERNS = [
         ),
     ),
 ]
+
+
+# Directories whose per-access data structures must use util/flat_map.hh
+# rather than the node-allocating std hash containers.
+HOT_PATH_DIRS = ("src/vm", "src/orgs")
+
+# Hot-path files allowed to keep std hash containers (cold-path setup
+# code only). Currently empty; add "src/vm/foo.cc" style paths here.
+HASH_MAP_ALLOWLIST: set[str] = set()
+
+HASH_MAP_INCLUDE_RE = re.compile(
+    r"^\s*#\s*include\s*<(unordered_map|unordered_set)>"
+)
 
 
 def strip_comments_and_strings(code: str) -> str:
@@ -164,6 +181,24 @@ def check_nondeterminism(rel: Path, text: str, problems: list[str]) -> None:
                 )
 
 
+def check_hot_path_containers(
+    rel: Path, text: str, problems: list[str]
+) -> None:
+    posix = rel.as_posix()
+    if not posix.startswith(tuple(d + "/" for d in HOT_PATH_DIRS)):
+        return
+    if posix in HASH_MAP_ALLOWLIST:
+        return
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = HASH_MAP_INCLUDE_RE.match(line)
+        if m:
+            problems.append(
+                f"{rel}:{lineno}: <{m.group(1)}> in hot-path directory; "
+                f"use util/flat_map.hh (or add to HASH_MAP_ALLOWLIST "
+                f"for cold-path code)"
+            )
+
+
 def check_hygiene(rel: Path, text: str, problems: list[str]) -> None:
     for lineno, line in enumerate(text.splitlines(), 1):
         if "\t" in line:
@@ -198,6 +233,7 @@ def main(argv: list[str]) -> int:
             check_include_guard(rel, text, problems)
             check_file_doc(rel, text, problems)
         check_nondeterminism(rel, text, problems)
+        check_hot_path_containers(rel, text, problems)
         check_hygiene(rel, text, problems)
 
     for problem in problems:
