@@ -21,6 +21,7 @@
  *   --llt         ideal|embedded|colocated                 (default colocated)
  *   --predictor   sam|llp|perfect                          (default llp)
  *   --llp-entries LLR entries per core                     (default 256)
+ *   --timing      blocking|queued memory pipeline           (default blocking)
  *   --refresh     model DRAM refresh (tREFI 7.8us, tRFC 350ns)
  *   --baseline    also run the baseline and report speedup
  *   --jobs        sweep-engine worker threads (0 = auto; also
@@ -28,6 +29,7 @@
  *                 execute concurrently.
  *   --dump-stats  print the full statistics registry
  *   --json        machine-readable stats (implies --dump-stats)
+ *   --csv         CSV stats with percentiles (implies --dump-stats)
  *   --list        list workloads and exit
  */
 
@@ -134,6 +136,16 @@ main(int argc, char **argv)
         return EXIT_FAILURE;
     }
 
+    const std::string timing = cli.getString("timing", "blocking");
+    if (timing == "blocking")
+        config.timingMode = TimingMode::Blocking;
+    else if (timing == "queued")
+        config.timingMode = TimingMode::Queued;
+    else {
+        std::cerr << "unknown --timing (blocking|queued)\n";
+        return EXIT_FAILURE;
+    }
+
     if (cli.getBool("refresh")) {
         // DDR3-class refresh: tREFI 7.8us, tRFC ~350ns in bus cycles.
         config.offchip.tRefi = 6240; // 7.8us @ 800MHz
@@ -144,7 +156,8 @@ main(int argc, char **argv)
 
     const bool want_baseline = cli.getBool("baseline");
     const bool json = cli.getBool("json");
-    const bool dump = cli.getBool("dump-stats") || json;
+    const bool csv = cli.getBool("csv");
+    const bool dump = cli.getBool("dump-stats") || json || csv;
     const unsigned jobs =
         static_cast<unsigned>(cli.getUint("jobs", want_baseline ? 0 : 1));
 
@@ -192,6 +205,8 @@ main(int argc, char **argv)
 
     if (json) {
         system.stats().dumpJson(std::cout);
+    } else if (csv) {
+        system.stats().dumpCsv(std::cout);
     } else {
         std::cout << r.orgName << " / " << r.workload << ": execTime="
                   << r.execTime << " cycles, MPKI=" << r.mpki()

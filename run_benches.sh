@@ -3,8 +3,25 @@
 # settings, extension/ablation benches on a representative subset.
 # Set CAMEO_BENCH_JOBS=$(nproc) to run each bench's simulation grid on
 # all cores; tables are bit-identical to a serial run.
-set -u
+set -eu
 cd "$(dirname "$0")"
+
+# Fail fast with a clear message when the bench binaries are missing
+# or stale-configured, instead of erroring mid-run on the first ./
+# invocation.
+if [ ! -d build/bench ]; then
+    echo "error: build/bench not found." >&2
+    echo "Build first:  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+for b in fig02_motivation perf_hotpath perf_queue; do
+    if [ ! -x "build/bench/$b" ]; then
+        echo "error: build/bench/$b missing or not executable." >&2
+        echo "Rebuild:  cmake --build build -j" >&2
+        exit 1
+    fi
+done
+
 {
 for b in fig02_motivation fig03_dram_trends table1_config table2_workloads \
          fig08_llt_latency fig09_llt_designs fig12_llp table3_llp_accuracy \
@@ -24,6 +41,7 @@ for b in ablation_llp_table ablation_capacity_ratio ablation_cameo_freq \
     ./build/bench/$b
     echo
 done
+unset CAMEO_BENCH_WORKLOADS
 echo "===================================================================="
 echo "===== bench/micro_components"
 echo "===================================================================="
@@ -33,4 +51,9 @@ echo "===================================================================="
 echo "===== bench/perf_hotpath (simulator throughput -> BENCH_hotpath.json)"
 echo "===================================================================="
 ./build/bench/perf_hotpath
+echo
+echo "===================================================================="
+echo "===== bench/perf_queue (queued contention -> BENCH_queue.json)"
+echo "===================================================================="
+./build/bench/perf_queue
 }

@@ -141,12 +141,12 @@ CameoController::writeback(Tick now, std::uint64_t group, std::uint32_t loc)
     //    access folded into the write drain (for Co-Located it is the
     //    read half of the LEAD read-modify-write).
     if (params_.llt != LltKind::Ideal)
-        stacked_.access(now, stackedDataLine(group), true, stackedBurst());
+        stacked_.request(now, stackedDataLine(group), true, stackedBurst());
 
     if (loc == 0)
-        return stacked_.access(now, stackedDataLine(group), true,
+        return stacked_.request(now, stackedDataLine(group), true,
                                stackedBurst());
-    return offchip_.access(now, groups_.offchipLineOf(group, loc), true,
+    return offchip_.request(now, groups_.offchipLineOf(group, loc), true,
                            kLineBytes);
 }
 
@@ -161,12 +161,12 @@ CameoController::swapIn(Tick when, std::uint64_t group, std::uint32_t slot,
     // Read the outgoing stacked resident unless the caller already has
     // it (Co-Located: the LEAD read returned it).
     if (!victim_in_hand)
-        stacked_.access(when, stackedDataLine(group), false, stackedBurst());
+        stacked_.request(when, stackedDataLine(group), false, stackedBurst());
     // Victim takes the incoming line's old off-chip location.
-    offchip_.access(when, off_line, true, kLineBytes);
+    offchip_.request(when, off_line, true, kLineBytes);
     // Incoming line is installed in the group's stacked slot (the LEAD
     // write also refreshes the co-located location entry).
-    stacked_.access(when, stackedDataLine(group), true, stackedBurst());
+    stacked_.request(when, stackedDataLine(group), true, stackedBurst());
 
     llt_.swapSlots(group, slot, victim_slot);
     swaps_.inc();
@@ -178,12 +178,12 @@ CameoController::accessIdeal(Tick now, std::uint64_t group,
                              bool is_write)
 {
     if (loc == 0) {
-        return stacked_.access(now, stackedDataLine(group), is_write,
+        return stacked_.request(now, stackedDataLine(group), is_write,
                                kLineBytes);
     }
     Tick done = now;
     if (!is_write) {
-        done = offchip_.access(now, groups_.offchipLineOf(group, loc),
+        done = offchip_.request(now, groups_.offchipLineOf(group, loc),
                                false, kLineBytes);
     }
     // Swap traffic goes through the writeback/fill queues; bill it at
@@ -199,23 +199,23 @@ CameoController::accessEmbedded(Tick now, std::uint64_t group,
                                 bool is_write)
 {
     // Serial LLT lookup from the reserved stacked region.
-    const Tick t_llt = stacked_.access(now, lltLine(group), false,
+    const Tick t_llt = stacked_.request(now, lltLine(group), false,
                                        kLineBytes);
     lltLookups_.inc();
 
     if (loc == 0) {
-        return stacked_.access(t_llt, stackedDataLine(group), is_write,
+        return stacked_.request(t_llt, stackedDataLine(group), is_write,
                                kLineBytes);
     }
     Tick done = t_llt;
     if (!is_write) {
-        done = offchip_.access(t_llt, groups_.offchipLineOf(group, loc),
+        done = offchip_.request(t_llt, groups_.offchipLineOf(group, loc),
                                false, kLineBytes);
     }
     if (shouldSwap(group, slot)) {
         swapIn(t_llt, group, slot, loc, /*victim_in_hand=*/false);
         // The swap moved lines, so the LLT entry must be rewritten.
-        stacked_.access(t_llt, lltLine(group), true, kLineBytes);
+        stacked_.request(t_llt, lltLine(group), true, kLineBytes);
     }
     return done;
 }
@@ -228,7 +228,7 @@ CameoController::accessCoLocated(Tick now, std::uint64_t group,
 {
     // The LEAD read is the LLT lookup; it also returns the data of
     // whatever line currently occupies the group's stacked slot.
-    const Tick t_lead = stacked_.access(now, stackedDataLine(group), false,
+    const Tick t_lead = stacked_.request(now, stackedDataLine(group), false,
                                         stackedBurst());
 
     // Location prediction applies to demand reads only: writebacks
@@ -246,7 +246,7 @@ CameoController::accessCoLocated(Tick now, std::uint64_t group,
             const std::uint64_t spec =
                 groups_.offchipLineOf(group, pred);
             if (offchip_.earliestServiceStart(spec) <= t_lead) {
-                offchip_.access(now, spec, false, kLineBytes);
+                offchip_.request(now, spec, false, kLineBytes);
                 wastedFetches_.inc();
             } else {
                 squashedFetches_.inc();
@@ -260,7 +260,7 @@ CameoController::accessCoLocated(Tick now, std::uint64_t group,
         done = t_lead;
         if (is_write) {
             // Write the updated data back into the LEAD slot.
-            stacked_.access(t_lead, stackedDataLine(group), true,
+            stacked_.request(t_lead, stackedDataLine(group), true,
                             stackedBurst());
         }
     } else {
@@ -271,12 +271,12 @@ CameoController::accessCoLocated(Tick now, std::uint64_t group,
             // Correct prediction: off-chip fetch ran in parallel with
             // the LEAD read; completion still waits for the LLT
             // verification (the LEAD read).
-            const Tick t_off = offchip_.access(now, off_line, false,
+            const Tick t_off = offchip_.request(now, off_line, false,
                                                kLineBytes);
             done = std::max(t_lead, t_off);
         } else {
             // Serialized: correct location only known after the LEAD.
-            done = offchip_.access(t_lead, off_line, false, kLineBytes);
+            done = offchip_.request(t_lead, off_line, false, kLineBytes);
         }
         if (shouldSwap(group, slot))
             swapIn(now, group, slot, loc, /*victim_in_hand=*/true);

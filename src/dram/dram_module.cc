@@ -34,12 +34,34 @@ DramModule::DramModule(std::string name, const DramTimings &timings,
       refreshStalls_(name_ + ".refreshStalls",
                      "reads delayed by an all-bank refresh"),
       readLatency_(name_ + ".readLatency",
-                   "read latency from request to data (cycles)", 100, 64)
+                   "read latency from request to data (cycles)", 100, 64),
+      queueFullStalls_(name_ + ".queueFullStalls",
+                       "reads stalled by a full in-service window"),
+      writeDrains_(name_ + ".writeDrains",
+                   "write-buffer drain bursts (forced + idle-bus)"),
+      drainedWrites_(name_ + ".drainedWrites",
+                     "writes drained through the bank/bus model"),
+      readQueueDepth_(name_ + ".readQueueDepth",
+                      "in-service reads at each read arrival", 1, 64),
+      writeQueueDepth_(name_ + ".writeQueueDepth",
+                       "buffered writes at each write arrival", 1, 64),
+      busBytesPerWindow_(name_ + ".busBytesPerWindow",
+                         "bytes transferred per 8192-cycle window", 2048,
+                         80)
 {
     assert(capacity_bytes % kLineBytes == 0);
     channels_.reserve(timings_.channels);
     for (std::uint32_t c = 0; c < timings_.channels; ++c)
         channels_.emplace_back(timings_.banksPerChannel);
+}
+
+Tick
+DramModule::request(Tick now, std::uint64_t device_line, bool is_write,
+                    std::uint32_t burst_bytes)
+{
+    if (mode_ == TimingMode::Blocking)
+        return access(now, device_line, is_write, burst_bytes);
+    return queuedRequest(now, device_line, is_write, burst_bytes);
 }
 
 Tick
@@ -49,8 +71,6 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
     assert(device_line < capacityLines_ && "device address out of range");
 
     const DramCoord coord = map_.decode(device_line);
-    Channel &chan = channels_[coord.channel];
-    Bank &bank = chan.banks[coord.bank];
 
     if (is_write) {
         // Writes sit in the controller's write queue and are drained
@@ -60,6 +80,7 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
         // effective bus efficiency versus interleaved reads. They are
         // charged half a burst of shared-bus time; byte counters (the
         // Table IV figures) are exact.
+        Channel &chan = channels_[coord.channel];
         const Tick start = std::max(now, chan.busReadyTick);
         const Tick burst = burstCyclesFast(burst_bytes);
         const Tick done = start + burst;
@@ -69,7 +90,21 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
         return done;
     }
 
-    Tick start = std::max(now, bank.readyTick);
+    const Tick done = serviceCommand(now, coord, burst_bytes);
+    reads_.inc();
+    readBytes_.inc(burst_bytes);
+    readLatency_.sample(done - now);
+    return done;
+}
+
+Tick
+DramModule::serviceCommand(Tick earliest, const DramCoord &coord,
+                           std::uint32_t burst_bytes)
+{
+    Channel &chan = channels_[coord.channel];
+    Bank &bank = chan.banks[coord.bank];
+
+    Tick start = std::max(earliest, bank.readyTick);
     // All-bank refresh: commands issued during a refresh window wait
     // for it to complete (tREFI period, tRFC duration).
     if (timings_.tRefi != 0) {
@@ -131,10 +166,118 @@ DramModule::access(Tick now, std::uint64_t device_line, bool is_write,
     // enforced through activateTick + tRAS (+ tRP), i.e. tRC.
     bank.readyTick = data_start;
 
+    if (mode_ == TimingMode::Queued)
+        recordBandwidth(done, burst_bytes);
+    return done;
+}
+
+void
+DramModule::setTimingMode(TimingMode mode, const DramQueueConfig &queues)
+{
+    assert(queues.readWindow > 0 && queues.writeQueueDepth > 0);
+    assert(queues.drainLowWatermark < queues.drainHighWatermark);
+    assert(queues.drainHighWatermark <= queues.writeQueueDepth);
+    mode_ = mode;
+    queueCfg_ = queues;
+    queued_.clear();
+    if (mode_ == TimingMode::Queued)
+        queued_.resize(channels_.size());
+}
+
+Tick
+DramModule::queuedRequest(Tick now, std::uint64_t device_line,
+                          bool is_write, std::uint32_t burst_bytes)
+{
+    assert(device_line < capacityLines_ && "device address out of range");
+
+    const DramCoord coord = map_.decode(device_line);
+    QueuedChannel &qc = queued_[coord.channel];
+
+    if (is_write) {
+        // Posted write: buffered immediately, byte counters exact at
+        // enqueue. The buffer only touches banks/buses when drained.
+        writes_.inc();
+        writeBytes_.inc(burst_bytes);
+        writeQueueDepth_.sample(qc.writeQueue.size());
+        qc.writeQueue.push_back(QueuedWrite{device_line, burst_bytes});
+        if (qc.writeQueue.size() >= queueCfg_.drainHighWatermark) {
+            // High watermark: the drain burst blocks the channel, and
+            // the triggering write is accepted once space is free.
+            return drainWrites(now, coord.channel,
+                               queueCfg_.drainLowWatermark);
+        }
+        return now + 1;
+    }
+
+    // Retire in-service reads that completed before this arrival.
+    while (!qc.inServiceReads.empty() && qc.inServiceReads.front() <= now)
+        qc.inServiceReads.pop_front();
+    readQueueDepth_.sample(qc.inServiceReads.size());
+
+    Tick earliest = now;
+    if (qc.inServiceReads.size() >= queueCfg_.readWindow) {
+        // Window full: the arrival waits for the oldest in-service
+        // read to complete before it can occupy a queue slot.
+        queueFullStalls_.inc();
+        earliest = qc.inServiceReads.front();
+        qc.inServiceReads.pop_front();
+    }
+
+    // Opportunistic drain: an idle bus ahead of this read lets the
+    // controller slip one buffered write in (read-priority policy
+    // drains writes only when no read is waiting).
+    if (!qc.writeQueue.empty() &&
+        channels_[coord.channel].busReadyTick < earliest) {
+        drainWrites(earliest, coord.channel, qc.writeQueue.size() - 1);
+    }
+
+    const Tick done = serviceCommand(earliest, coord, burst_bytes);
     reads_.inc();
     readBytes_.inc(burst_bytes);
     readLatency_.sample(done - now);
+    assert(qc.inServiceReads.empty() || done >= qc.inServiceReads.back());
+    qc.inServiceReads.push_back(done);
     return done;
+}
+
+Tick
+DramModule::drainWrites(Tick now, std::uint32_t chan_idx,
+                        std::size_t target)
+{
+    QueuedChannel &qc = queued_[chan_idx];
+    Channel &chan = channels_[chan_idx];
+    Tick last_done = now;
+    writeDrains_.inc();
+    while (qc.writeQueue.size() > target) {
+        // FR-FCFS: the oldest write whose row is already open goes
+        // first; with no open-row match, strict arrival order.
+        std::size_t pick = 0;
+        for (std::size_t i = 0; i < qc.writeQueue.size(); ++i) {
+            const DramCoord c = map_.decode(qc.writeQueue[i].line);
+            if (chan.banks[c.bank].openRow == c.row) {
+                pick = i;
+                break;
+            }
+        }
+        const QueuedWrite write = qc.writeQueue[pick];
+        qc.writeQueue.erase(qc.writeQueue.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
+        const DramCoord coord = map_.decode(write.line);
+        last_done = serviceCommand(now, coord, write.burstBytes);
+        drainedWrites_.inc();
+    }
+    return last_done;
+}
+
+void
+DramModule::recordBandwidth(Tick done, std::uint32_t bytes)
+{
+    if (done >= bandwidthWindowStart_ + kBandwidthWindow) {
+        busBytesPerWindow_.sample(bandwidthWindowBytes_);
+        bandwidthWindowStart_ = done - done % kBandwidthWindow;
+        bandwidthWindowBytes_ = 0;
+    }
+    bandwidthWindowBytes_ += bytes;
 }
 
 Tick
@@ -159,6 +302,16 @@ DramModule::registerStats(StatRegistry &registry)
     registry.add(rowConflicts_);
     registry.add(refreshStalls_);
     registry.add(readLatency_);
+    // Queued-only stats register conditionally so blocking-mode dumps
+    // (and with them the golden references) are unchanged.
+    if (mode_ == TimingMode::Queued) {
+        registry.add(queueFullStalls_);
+        registry.add(writeDrains_);
+        registry.add(drainedWrites_);
+        registry.add(readQueueDepth_);
+        registry.add(writeQueueDepth_);
+        registry.add(busBytesPerWindow_);
+    }
 }
 
 void
@@ -181,6 +334,18 @@ DramModule::reset()
     rowConflicts_.reset();
     refreshStalls_.reset();
     readLatency_.reset();
+    for (QueuedChannel &qc : queued_) {
+        qc.inServiceReads.clear();
+        qc.writeQueue.clear();
+    }
+    bandwidthWindowStart_ = 0;
+    bandwidthWindowBytes_ = 0;
+    queueFullStalls_.reset();
+    writeDrains_.reset();
+    drainedWrites_.reset();
+    readQueueDepth_.reset();
+    writeQueueDepth_.reset();
+    busBytesPerWindow_.reset();
 }
 
 } // namespace cameo

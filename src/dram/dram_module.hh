@@ -15,11 +15,19 @@
  * local clocks independently) are tolerated: reservation times are
  * monotone per resource, so a late-arriving earlier request simply
  * queues behind the reservation.
+ *
+ * Two timing modes (DESIGN.md §9): Blocking reproduces the original
+ * semantics (posted half-burst writes, immediate read reservation);
+ * Queued adds per-channel controller queues — a bounded in-service
+ * read window that stalls arrivals when full, and a write buffer
+ * drained in FR-FCFS row-batched bursts that occupy real bank and bus
+ * time, so write pressure steals read bandwidth.
  */
 
 #ifndef CAMEO_DRAM_DRAM_MODULE_HH
 #define CAMEO_DRAM_DRAM_MODULE_HH
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -27,6 +35,7 @@
 #include "dram/address_map.hh"
 #include "dram/bank.hh"
 #include "dram/channel.hh"
+#include "dram/queue_config.hh"
 #include "dram/timings.hh"
 #if CAMEO_AUDIT_ENABLED
 #include "check/dram_protocol_auditor.hh"
@@ -55,7 +64,32 @@ class DramModule
     DramModule &operator=(const DramModule &) = delete;
 
     /**
-     * Perform one access.
+     * Service one device command through the active timing mode — the
+     * only entry point the memory pipeline (organizations, CAMEO
+     * controller) may use; `tools/lint.py` enforces that discipline.
+     *
+     * Blocking mode forwards to the legacy access() shim. Queued mode
+     * routes the command through the per-channel controller queues:
+     * writes post into the write buffer (FR-FCFS forced drains at the
+     * high watermark), reads stall behind a full in-service window and
+     * then reserve bank/bus resources exactly as access() does.
+     *
+     * @param now         Earliest time the command may issue.
+     * @param device_line Line index within this device.
+     * @param is_write    Write (writeback/fill) or read.
+     * @param burst_bytes Data moved: 64 for a plain line, 80 for a
+     *                    CAMEO LEAD or Alloy TAD burst.
+     * @return Completion time: data arrival for reads, buffer
+     *         acceptance (or forced-drain completion) for writes.
+     */
+    Tick request(Tick now, std::uint64_t device_line, bool is_write,
+                 std::uint32_t burst_bytes = kLineBytes);
+
+    /**
+     * Blocking timing shim: writes are posted at half-burst bus cost,
+     * reads reserve bank/bus resources immediately. Kept as the
+     * reference semantics (golden-stats bit-identity) and for direct
+     * device-level tests; pipeline callers go through request().
      *
      * @param now         Earliest time the command may issue.
      * @param device_line Line index within this device.
@@ -66,6 +100,17 @@ class DramModule
      */
     Tick access(Tick now, std::uint64_t device_line, bool is_write,
                 std::uint32_t burst_bytes = kLineBytes);
+
+    /**
+     * Select the timing mode. Queued mode allocates the per-channel
+     * controller queues sized by @p queues. Must be called before
+     * registerStats (queued-only statistics register conditionally so
+     * blocking-mode dumps stay unchanged).
+     */
+    void setTimingMode(TimingMode mode, const DramQueueConfig &queues);
+
+    TimingMode timingMode() const { return mode_; }
+    const DramQueueConfig &queueConfig() const { return queueCfg_; }
 
     /**
      * Earliest time a read of @p device_line could begin service
@@ -120,10 +165,74 @@ class DramModule
     /** Distribution of read-access latencies (request to data). */
     const Distribution &readLatency() const { return readLatency_; }
 
+    // Queued-mode statistics (zero / unregistered in blocking mode).
+    const Counter &queueFullStalls() const { return queueFullStalls_; }
+    const Counter &writeDrains() const { return writeDrains_; }
+    const Counter &drainedWrites() const { return drainedWrites_; }
+    const Distribution &readQueueDepth() const { return readQueueDepth_; }
+    const Distribution &writeQueueDepth() const
+    {
+        return writeQueueDepth_;
+    }
+    const Distribution &busBytesPerWindow() const
+    {
+        return busBytesPerWindow_;
+    }
+
+    /** Bandwidth-sample window for busBytesPerWindow (CPU cycles). */
+    static constexpr Tick kBandwidthWindow = 8192;
+
     /** Reset dynamic state (row buffers, reservations) and counters. */
     void reset();
 
   private:
+    /** One buffered (posted) write awaiting drain. */
+    struct QueuedWrite
+    {
+        std::uint64_t line;
+        std::uint32_t burstBytes;
+    };
+
+    /** Queued-mode controller state of one channel. */
+    struct QueuedChannel
+    {
+        /** Completion ticks of in-service reads (bus-serialized, so
+         *  nondecreasing; the front is the oldest). */
+        std::deque<Tick> inServiceReads;
+
+        /** Posted writes awaiting an FR-FCFS drain. */
+        std::vector<QueuedWrite> writeQueue;
+    };
+
+    /**
+     * Reserve bank + bus for one data-moving command starting no
+     * earlier than @p earliest: refresh window, row-buffer outcome
+     * (hit / closed / conflict), then the channel-bus burst. This is
+     * the timing kernel shared by the blocking read path and every
+     * queued-mode command; it updates the row-outcome and refresh
+     * counters and feeds the protocol auditor.
+     *
+     * @return Completion time (data fully transferred).
+     */
+    Tick serviceCommand(Tick earliest, const DramCoord &coord,
+                        std::uint32_t burst_bytes);
+
+    /** Queued-mode service of one read or posted write. */
+    Tick queuedRequest(Tick now, std::uint64_t device_line, bool is_write,
+                       std::uint32_t burst_bytes);
+
+    /**
+     * FR-FCFS drain of @p chan_idx's write buffer down to @p target
+     * entries, starting at @p now. Row hits to currently open rows
+     * drain first; ties fall back to arrival order.
+     *
+     * @return Completion time of the last drained write.
+     */
+    Tick drainWrites(Tick now, std::uint32_t chan_idx, std::size_t target);
+
+    /** Accumulate @p bytes finishing at @p done into the bandwidth
+     *  window distribution (queued mode only). */
+    void recordBandwidth(Tick done, std::uint32_t bytes);
     /** Data-transfer time for @p bytes using the constants cached at
      *  construction (equal to timings_.burstCycles, division-free). */
     Tick burstCyclesFast(std::uint32_t bytes) const
@@ -140,6 +249,14 @@ class DramModule
     DramAddressMap map_;
     std::uint64_t capacityLines_;
     std::vector<Channel> channels_;
+
+    TimingMode mode_ = TimingMode::Blocking;
+    DramQueueConfig queueCfg_;
+    std::vector<QueuedChannel> queued_;
+
+    /** Bandwidth-window accumulator (queued mode). */
+    Tick bandwidthWindowStart_ = 0;
+    std::uint64_t bandwidthWindowBytes_ = 0;
 
     // Per-access timing constants, derived from timings_ once so the
     // hot path never re-divides clock ratios.
@@ -167,6 +284,14 @@ class DramModule
     Counter rowConflicts_;
     Counter refreshStalls_;
     Distribution readLatency_;
+
+    // Queued-mode statistics (registered only when mode_ == Queued).
+    Counter queueFullStalls_;
+    Counter writeDrains_;
+    Counter drainedWrites_;
+    Distribution readQueueDepth_;
+    Distribution writeQueueDepth_;
+    Distribution busBytesPerWindow_;
 };
 
 } // namespace cameo

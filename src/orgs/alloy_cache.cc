@@ -38,6 +38,7 @@ AlloyCacheOrg::AlloyCacheOrg(const OrgConfig &config,
                      "parallel off-chip fetches that were not needed")
 {
     assert(numSets_ != 0);
+    applyTimingConfig(config);
 }
 
 std::size_t
@@ -79,8 +80,8 @@ AlloyCacheOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
         // line (evicted L3 lines are recently used and likely to be
         // re-referenced — stacked caches allocate on writeback).
         if (!hit && set.valid && set.dirty)
-            offchip_.access(now, set.tag, true, kLineBytes);
-        const Tick done = stacked_.access(now, set_idx, true,
+            offchip_.request(now, set.tag, true, kLineBytes);
+        const Tick done = stacked_.request(now, set_idx, true,
                                           kTadBurstBytes);
         set.tag = line;
         set.valid = true;
@@ -90,7 +91,7 @@ AlloyCacheOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
 
     const bool pred_hit = predictHit(core, pc);
     // The TAD read doubles as tag check and (on hit) data delivery.
-    const Tick t_tad = stacked_.access(now, set_idx, false, kTadBurstBytes);
+    const Tick t_tad = stacked_.request(now, set_idx, false, kTadBurstBytes);
 
     Tick done;
     if (hit) {
@@ -101,7 +102,7 @@ AlloyCacheOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
             // is squashed once the TAD verifies the hit, unless the
             // memory would already have serviced it by then.
             if (offchip_.earliestServiceStart(line) <= t_tad) {
-                offchip_.access(now, line, false, kLineBytes);
+                offchip_.request(now, line, false, kLineBytes);
                 wastedFetches_.inc();
             }
         }
@@ -110,7 +111,7 @@ AlloyCacheOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
         // Off-chip fetch: parallel with the TAD read when predicted
         // miss, serialized behind the tag check otherwise.
         const Tick issue = pred_hit ? t_tad : now;
-        const Tick t_off = offchip_.access(issue, line, false, kLineBytes);
+        const Tick t_off = offchip_.request(issue, line, false, kLineBytes);
         done = std::max(t_tad, t_off);
 
         // Fill: install the TAD; evict dirty victim to off-chip. The
@@ -118,8 +119,8 @@ AlloyCacheOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
         // traffic is billed at request time (they contend for the
         // buses but are not on the demand critical path).
         if (set.valid && set.dirty)
-            offchip_.access(now, set.tag, true, kLineBytes);
-        stacked_.access(now, set_idx, true, kTadBurstBytes);
+            offchip_.request(now, set.tag, true, kLineBytes);
+        stacked_.request(now, set_idx, true, kTadBurstBytes);
         set.tag = line;
         set.valid = true;
         set.dirty = false;

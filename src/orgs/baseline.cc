@@ -9,6 +9,7 @@ BaselineOrg::BaselineOrg(const OrgConfig &config)
     : MemoryOrganization("Baseline"),
       offchip_("dram.offchip", config.offchip, config.offchipBytes)
 {
+    applyTimingConfig(config);
 }
 
 Tick
@@ -18,7 +19,7 @@ BaselineOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
     (void)pc;
     (void)core;
     assert(line < offchip_.capacityLines());
-    return offchip_.access(now, line, is_write, kLineBytes);
+    return offchip_.request(now, line, is_write, kLineBytes);
 }
 
 void

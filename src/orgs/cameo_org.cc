@@ -79,6 +79,7 @@ CameoOrg::CameoOrg(const OrgConfig &config, std::string name)
     assert((config.stackedBytes + config.offchipBytes) %
                config.stackedBytes ==
            0);
+    applyTimingConfig(config);
 }
 
 Tick

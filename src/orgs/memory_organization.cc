@@ -17,6 +17,58 @@ namespace cameo
 
 MemoryOrganization::~MemoryOrganization() = default;
 
+Tick
+MemoryOrganization::submit(Tick now, LineAddr line, bool is_write,
+                           InstAddr pc, std::uint32_t core,
+                           std::uint64_t tag, MemClient *client)
+{
+    MemRequest req;
+    req.id = ++lastRequestId_;
+    req.tag = tag;
+    req.line = line;
+    req.isWrite = is_write;
+    req.pc = pc;
+    req.core = core;
+    req.issueTick = now;
+
+    const Tick done = access(now, line, is_write, pc, core);
+#if CAMEO_AUDIT_ENABLED
+    queueAudit_.onSubmit(req.id, now);
+#endif
+    if (timingMode_ == TimingMode::Queued && events_ != nullptr &&
+        client != nullptr) {
+        events_->schedule(done, [this, req, client](Tick when) {
+#if CAMEO_AUDIT_ENABLED
+            queueAudit_.onComplete(req.id, when);
+#endif
+            client->onMemComplete(req, when);
+        });
+        return done;
+    }
+#if CAMEO_AUDIT_ENABLED
+    queueAudit_.onComplete(req.id, done, /*ordered=*/false);
+#endif
+    if (client != nullptr)
+        client->onMemComplete(req, done);
+    return done;
+}
+
+void
+MemoryOrganization::applyTimingConfig(const OrgConfig &config)
+{
+    timingMode_ = config.timingMode;
+    if (DramModule *stacked = stackedModule())
+        stacked->setTimingMode(config.timingMode, config.queues);
+    offchipModule().setTimingMode(config.timingMode, config.queues);
+#if CAMEO_AUDIT_ENABLED
+    // The event queue fires in tick order, so queued-mode deliveries
+    // are monotone; blocking completions fire in submission order with
+    // freely interleaved ticks.
+    queueAudit_.setMonotonicDelivery(config.timingMode ==
+                                     TimingMode::Queued);
+#endif
+}
+
 void
 MemoryOrganization::onPageMapped(std::uint32_t frame, std::uint32_t core,
                                  PageAddr vpage)

@@ -9,6 +9,13 @@
  * separates a cache (stacked DRAM invisible) from TLM/CAMEO (visible),
  * and therefore drives the page-fault behaviour of Capacity-Limited
  * workloads.
+ *
+ * Requesters enter through submit(), the transaction front door
+ * (DESIGN.md §9): it wraps the virtual access() timing model in a
+ * MemRequest and delivers the completion to the issuing MemClient —
+ * synchronously in Blocking timing (the legacy control flow,
+ * bit-identical stats), or through the bound SimKernel event queue at
+ * the completion tick in Queued timing.
  */
 
 #ifndef CAMEO_ORGS_MEMORY_ORGANIZATION_HH
@@ -17,12 +24,19 @@
 #include <memory>
 #include <string>
 
+#include "check/audit.hh"
 #include "core/cameo_controller.hh"
 #include "dram/dram_module.hh"
+#include "dram/queue_config.hh"
 #include "dram/timings.hh"
+#include "sim/event_queue.hh"
+#include "sim/mem_request.hh"
 #include "stats/registry.hh"
 #include "util/flat_map.hh"
 #include "util/types.hh"
+#if CAMEO_AUDIT_ENABLED
+#include "check/queue_auditor.hh"
+#endif
 
 namespace cameo
 {
@@ -73,6 +87,16 @@ struct OrgConfig
      * the standard OS guard against migration thrash.
      */
     std::uint32_t tlmMigrateThreshold = 2;
+
+    /**
+     * Memory-pipeline timing mode. Blocking reproduces the original
+     * synchronous semantics bit-for-bit; Queued enables the DRAM
+     * controller queues and event-delivered completions.
+     */
+    TimingMode timingMode = TimingMode::Blocking;
+
+    /** DRAM controller queue geometry (Queued timing only). */
+    DramQueueConfig queues;
 };
 
 /** Oracular page heat keyed by (core, vpage); see TlmOracleOrg. Open
@@ -108,6 +132,48 @@ class MemoryOrganization
     virtual Tick access(Tick now, LineAddr line, bool is_write, InstAddr pc,
                         std::uint32_t core) = 0;
 
+    /**
+     * Submit one transaction to the memory pipeline. Timing comes from
+     * the virtual access() model; completion delivery depends on the
+     * mode: Blocking invokes @p client->onMemComplete before returning
+     * (identical control flow to calling access() directly), Queued
+     * schedules it on the bound event queue at the completion tick.
+     *
+     * @param now      Request time (requester's local clock).
+     * @param line     OS-physical line address.
+     * @param is_write L3 writeback (true) or demand fill (false).
+     * @param pc       Missing instruction address (for predictors).
+     * @param core     Requesting core id.
+     * @param tag      Requester-chosen tag carried back in the
+     *                 completion (kNoTag when unused).
+     * @param client   Completion receiver; nullptr for fire-and-forget
+     *                 requests (posted writebacks).
+     * @return The completion tick (also delivered to @p client).
+     */
+    Tick submit(Tick now, LineAddr line, bool is_write, InstAddr pc,
+                std::uint32_t core, std::uint64_t tag = kNoTag,
+                MemClient *client = nullptr);
+
+    /**
+     * Bind (or with nullptr, unbind) the event queue that Queued-mode
+     * completions are scheduled on. System binds its kernel's queue for
+     * the duration of a run. Unbound, submit() delivers synchronously
+     * even in Queued timing.
+     */
+    void bindEventQueue(EventQueue *events)
+    {
+        events_ = events;
+#if CAMEO_AUDIT_ENABLED
+        // Unbinding marks end-of-run: every submitted transaction must
+        // have completed by now (the kernel drains leftover events).
+        if (events == nullptr)
+            queueAudit_.checkDrained();
+#endif
+    }
+
+    /** The pipeline timing mode this organization was built with. */
+    TimingMode timingMode() const { return timingMode_; }
+
     /** OS-visible memory capacity in bytes (whole pages). */
     virtual std::uint64_t visibleBytes() const = 0;
 
@@ -140,8 +206,26 @@ class MemoryOrganization
   protected:
     explicit MemoryOrganization(std::string name) : name_(std::move(name)) {}
 
+    /**
+     * Adopt @p config's timing mode: stores it and pushes the mode and
+     * queue geometry into this organization's DRAM modules. Concrete
+     * organizations call this at the end of their constructor bodies
+     * (after the modules exist and the virtual module accessors
+     * resolve), and before System registers stats — queued-only DRAM
+     * statistics register conditionally on the mode.
+     */
+    void applyTimingConfig(const OrgConfig &config);
+
   private:
     std::string name_;
+    TimingMode timingMode_ = TimingMode::Blocking;
+    EventQueue *events_ = nullptr;
+    std::uint64_t lastRequestId_ = 0;
+
+#if CAMEO_AUDIT_ENABLED
+    /** Shadow accounting of every submitted transaction. */
+    QueueInvariantAuditor queueAudit_;
+#endif
 };
 
 /** Construct an organization of @p kind from @p config. */

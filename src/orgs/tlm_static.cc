@@ -18,6 +18,7 @@ TlmStaticOrg::TlmStaticOrg(const OrgConfig &config, std::string name)
       pageMigrations_("tlm.pageMigrations", "4KB page swaps performed")
 {
     assert(stackedPages_ != 0 && totalPages_ > stackedPages_);
+    applyTimingConfig(config);
 }
 
 std::uint64_t
@@ -43,14 +44,14 @@ TlmStaticOrg::routeLine(Tick now, std::uint64_t device_page,
     assert(device_page < totalPages_);
     if (inStacked(device_page)) {
         servicedStacked_.inc();
-        return stacked_.access(now,
+        return stacked_.request(now,
                                device_page * kLinesPerPage + line_in_page,
                                is_write, kLineBytes);
     }
     servicedOffchip_.inc();
     const std::uint64_t off_line =
         (device_page - stackedPages_) * kLinesPerPage + line_in_page;
-    return offchip_.access(now, off_line, is_write, kLineBytes);
+    return offchip_.request(now, off_line, is_write, kLineBytes);
 }
 
 Tick
@@ -80,11 +81,11 @@ TlmStaticOrg::billPageSwap(Tick when, std::uint64_t offchip_dev_page,
     const std::uint64_t stk_base = stacked_dev_page * kLinesPerPage;
     for (std::uint32_t i = 0; i < kLinesPerPage; ++i) {
         // Page coming in: read off-chip, write stacked.
-        offchip_.access(when, off_base + i, false, kLineBytes);
-        stacked_.access(when, stk_base + i, true, kLineBytes);
+        offchip_.request(when, off_base + i, false, kLineBytes);
+        stacked_.request(when, stk_base + i, true, kLineBytes);
         // Victim going out: read stacked, write off-chip.
-        stacked_.access(when, stk_base + i, false, kLineBytes);
-        offchip_.access(when, off_base + i, true, kLineBytes);
+        stacked_.request(when, stk_base + i, false, kLineBytes);
+        offchip_.request(when, off_base + i, true, kLineBytes);
     }
     pageMigrations_.inc();
 }

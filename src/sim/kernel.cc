@@ -35,12 +35,44 @@ SimKernel::run(std::uint64_t max_steps)
     auditor_.reset();
 #endif
 
-    while (!heap.empty() && stepsExecuted_ < max_steps) {
+    // Agents parked on a deferred completion (blocked() == true).
+    std::vector<std::size_t> parked;
+    const auto unpark = [&] {
+        for (std::size_t i = parked.size(); i-- > 0;) {
+            const std::size_t idx = parked[i];
+            if (!agents_[idx]->blocked()) {
+                heap.emplace(agents_[idx]->nextReadyTick(), idx);
+                parked[i] = parked.back();
+                parked.pop_back();
+            }
+        }
+    };
+
+    while (stepsExecuted_ < max_steps) {
+        // Deliver completions due at or before the next dispatch so
+        // deliveries and steps interleave in global-time order. With
+        // no pending events (Blocking timing) this whole block is a
+        // no-op and the loop reduces to the legacy dispatch loop.
+        if (!events_.empty() &&
+            (heap.empty() || events_.nextTick() <= heap.top().first)) {
+            events_.runOne();
+            unpark();
+            continue;
+        }
+        if (heap.empty()) {
+            // No runnable agent and no pending event: parked agents
+            // here mean a completion was lost — break (never spin).
+            CAMEO_AUDIT(parked.empty(),
+                        "kernel: agents parked with no pending event");
+            break;
+        }
         auto [tick, idx] = heap.top();
         heap.pop();
         Agent *agent = agents_[idx];
         if (agent->done())
             continue;
+        if (agent->blocked())
+            continue; // stale entry; the agent is tracked in `parked`
         if (agent->nextReadyTick() != tick) {
             // Stale entry; reinsert with the current key.
             heap.emplace(agent->nextReadyTick(), idx);
@@ -54,9 +86,18 @@ SimKernel::run(std::uint64_t max_steps)
 #if CAMEO_AUDIT_ENABLED
         auditor_.onStepped(idx, tick, agent->nextReadyTick());
 #endif
-        if (!agent->done())
-            heap.emplace(agent->nextReadyTick(), idx);
+        if (!agent->done()) {
+            if (agent->blocked())
+                parked.push_back(idx);
+            else
+                heap.emplace(agent->nextReadyTick(), idx);
+        }
     }
+
+    // Deliver completions still in flight (agents issue their last
+    // misses and finish before the data returns) so finishTick() and
+    // the in-flight bookkeeping settle.
+    events_.runAll();
 
     Tick finish = 0;
     for (const Agent *agent : agents_) {

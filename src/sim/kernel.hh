@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "check/audit.hh"
+#include "sim/event_queue.hh"
 #include "util/types.hh"
 #if CAMEO_AUDIT_ENABLED
 #include "check/kernel_auditor.hh"
@@ -40,6 +41,15 @@ class Agent
 
     /** True once the agent has retired all of its work. */
     virtual bool done() const = 0;
+
+    /**
+     * True while the agent cannot make progress until an event-queue
+     * completion arrives (e.g. a core whose miss window is full of
+     * unresolved requests in queued timing). A blocked agent is parked
+     * — removed from the dispatch heap — and re-enters it after an
+     * event clears the condition. Blocking-timing agents never block.
+     */
+    virtual bool blocked() const { return false; }
 
     /**
      * Perform one unit of work (typically: process one trace record),
@@ -83,8 +93,19 @@ class SimKernel
 
     std::size_t numAgents() const { return agents_.size(); }
 
+    /**
+     * The kernel's deferred-completion queue. Queued-timing pipelines
+     * (MemoryOrganization::bindEventQueue) schedule completions here;
+     * run() fires every event whose tick is at or before the next
+     * dispatch, so deliveries interleave with agent steps in global
+     * time order with deterministic FIFO tie-breaking. Events left
+     * over when the agents finish are drained before run() returns.
+     */
+    EventQueue &events() { return events_; }
+
   private:
     std::vector<Agent *> agents_;
+    EventQueue events_;
     std::uint64_t stepsExecuted_ = 0;
     bool hitStepLimit_ = false;
 

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * MemRequest: the transaction that travels the memory pipeline, and
+ * MemClient, the completion-callback interface of its issuer.
+ *
+ * A requester (CpuCore, a test harness) hands a request to
+ * MemoryOrganization::submit() instead of synchronously awaiting a
+ * Tick. In Blocking timing the completion callback fires inside
+ * submit() — the legacy control flow, bit-identical stats. In Queued
+ * timing the completion is scheduled on the SimKernel's event queue at
+ * the device completion tick and delivered when simulated time reaches
+ * it, which is what lets a core park on a full miss window instead of
+ * spinning its local clock forward.
+ */
+
+#ifndef CAMEO_SIM_MEM_REQUEST_HH
+#define CAMEO_SIM_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** One in-flight memory transaction. */
+struct MemRequest
+{
+    /** Pipeline-assigned id, unique per organization instance. */
+    std::uint64_t id = 0;
+
+    /**
+     * Requester-chosen tag (kNoTag when unused). CpuCore tags load
+     * misses with a monotonically increasing sequence number so the
+     * completion handler can tell whether an arriving completion
+     * belongs to the most recently issued load (the one dependence
+     * stalls wait for).
+     */
+    std::uint64_t tag = 0;
+
+    /** OS-physical line address. */
+    LineAddr line = 0;
+
+    /** L3 writeback (true) or demand fill (false). */
+    bool isWrite = false;
+
+    /** Missing instruction address (for predictors). */
+    InstAddr pc = 0;
+
+    /** Requesting core id. */
+    std::uint32_t core = 0;
+
+    /** Local time at which the request entered the pipeline. */
+    Tick issueTick = 0;
+};
+
+/** MemRequest::tag value meaning "no tag". */
+inline constexpr std::uint64_t kNoTag = 0;
+
+/** Receiver of memory-request completions. */
+class MemClient
+{
+  public:
+    /**
+     * @p req completed at @p done. In Blocking timing this runs inside
+     * submit(); in Queued timing it runs from the event queue when
+     * simulated time reaches @p done.
+     */
+    virtual void onMemComplete(const MemRequest &req, Tick done) = 0;
+
+  protected:
+    ~MemClient() = default;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_SIM_MEM_REQUEST_HH

@@ -50,4 +50,34 @@ Distribution::mean() const
     return static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (count_ == 0 || buckets_.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(count_);
+    const auto clamped = [this](double v) {
+        return std::clamp(v, static_cast<double>(min_),
+                          static_cast<double>(max_));
+    };
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const std::uint64_t in_bucket = buckets_[i];
+        if (in_bucket != 0 &&
+            static_cast<double>(cum + in_bucket) >= target) {
+            const double within =
+                (target - static_cast<double>(cum)) /
+                static_cast<double>(in_bucket);
+            const double lo =
+                static_cast<double>(i) * static_cast<double>(bucketWidth_);
+            return clamped(lo +
+                           within * static_cast<double>(bucketWidth_));
+        }
+        cum += in_bucket;
+    }
+    // Target rank lies in the overflow bucket.
+    return static_cast<double>(max_);
+}
+
 } // namespace cameo

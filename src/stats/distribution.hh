@@ -42,6 +42,18 @@ class Distribution
     std::uint64_t maxValue() const { return max_; }
     double mean() const;
 
+    /**
+     * Estimate the @p p quantile (0 <= p <= 1) from the histogram by
+     * linear interpolation inside the bucket holding the target rank,
+     * clamped to the exact observed [min, max]. Samples in the
+     * overflow bucket resolve to max. Returns 0 when the distribution
+     * has no samples or was built without a histogram.
+     */
+    double percentile(double p) const;
+
+    /** True when percentile() has a histogram to work from. */
+    bool hasHistogram() const { return !buckets_.empty(); }
+
     /** Histogram access (empty if histogram disabled). */
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t overflow() const { return overflow_; }

@@ -78,8 +78,13 @@ StatRegistry::dump(std::ostream &os) const
     for (const Distribution *d : dists_) {
         os << std::left << std::setw(44) << d->name() << " count="
            << d->count() << " mean=" << d->mean() << " min="
-           << (d->count() ? d->minValue() : 0) << " max=" << d->maxValue()
-           << "  # " << d->desc() << "\n";
+           << (d->count() ? d->minValue() : 0) << " max=" << d->maxValue();
+        if (d->hasHistogram()) {
+            os << " p50=" << d->percentile(0.50)
+               << " p95=" << d->percentile(0.95)
+               << " p99=" << d->percentile(0.99);
+        }
+        os << "  # " << d->desc() << "\n";
     }
 }
 
@@ -103,9 +108,35 @@ StatRegistry::dumpJson(std::ostream &os) const
            << ", \"sum\": " << d->sum()
            << ", \"min\": " << (d->count() ? d->minValue() : 0)
            << ", \"max\": " << d->maxValue()
-           << ", \"mean\": " << d->mean() << "}";
+           << ", \"mean\": " << d->mean();
+        if (d->hasHistogram()) {
+            os << ", \"p50\": " << d->percentile(0.50)
+               << ", \"p95\": " << d->percentile(0.95)
+               << ", \"p99\": " << d->percentile(0.99);
+        }
+        os << "}";
     }
     os << "\n}\n";
+}
+
+void
+StatRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "name,value,count,sum,min,max,mean,p50,p95,p99\n";
+    for (const Counter *c : counters_)
+        os << c->name() << "," << c->value() << ",,,,,,,,\n";
+    for (const Distribution *d : dists_) {
+        os << d->name() << ",," << d->count() << "," << d->sum() << ","
+           << (d->count() ? d->minValue() : 0) << "," << d->maxValue()
+           << "," << d->mean() << ",";
+        if (d->hasHistogram()) {
+            os << d->percentile(0.50) << "," << d->percentile(0.95) << ","
+               << d->percentile(0.99);
+        } else {
+            os << ",,";
+        }
+        os << "\n";
+    }
 }
 
 } // namespace cameo

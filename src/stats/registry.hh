@@ -67,6 +67,14 @@ class StatRegistry
      */
     void dumpJson(std::ostream &os) const;
 
+    /**
+     * Dump all statistics as CSV with a fixed header row
+     * (name,value,count,sum,min,max,mean,p50,p95,p99): counters fill
+     * only the value column; distributions fill the rest, with the
+     * percentile columns present only when a histogram was configured.
+     */
+    void dumpCsv(std::ostream &os) const;
+
     const std::vector<Counter *> &counters() const { return counters_; }
     const std::vector<Distribution *> &distributions() const
     {

@@ -51,6 +51,8 @@ SystemConfig::orgConfig() const
     oc.freqEpochAccesses = freqEpochAccesses;
     oc.tlmVictimProbes = tlmVictimProbes;
     oc.tlmMigrateThreshold = tlmMigrateThreshold;
+    oc.timingMode = timingMode;
+    oc.queues = dramQueues;
     return oc;
 }
 

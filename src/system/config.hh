@@ -65,6 +65,18 @@ struct SystemConfig
     // --- Storage -----------------------------------------------------
     Tick pageFaultLatency = 100'000;
 
+    // --- Memory pipeline ---------------------------------------------
+    /**
+     * Timing mode for the memory pipeline (DESIGN.md §9): Blocking is
+     * the original synchronous model (bit-identical statistics);
+     * Queued models DRAM controller queues and event-delivered miss
+     * completions, i.e. real queuing contention.
+     */
+    TimingMode timingMode = TimingMode::Blocking;
+
+    /** DRAM controller queue geometry (Queued timing only). */
+    DramQueueConfig dramQueues;
+
     // --- CAMEO / TLM design points -----------------------------------
     LltKind lltKind = LltKind::CoLocated;
     PredictorKind predictorKind = PredictorKind::Llp;

@@ -22,7 +22,13 @@ void
 CpuCore::tryIssuePendingMiss()
 {
     assert(pendingMiss_);
-    if (outstanding_.size() >= mlp_) {
+    if (outstanding_.size() + unresolved_ >= mlp_) {
+        if (outstanding_.empty()) {
+            // Every slot is unresolved (Queued timing): no completion
+            // tick to advance to — park until one arrives.
+            blockReason_ = BlockReason::WindowFull;
+            return;
+        }
         const auto oldest =
             std::min_element(outstanding_.begin(), outstanding_.end());
         if (*oldest > clock_) {
@@ -34,13 +40,37 @@ CpuCore::tryIssuePendingMiss()
     }
     const PendingMiss miss = *pendingMiss_;
     pendingMiss_.reset();
-    const Tick done = org_.access(clock_, miss.line, false, miss.pc, id_);
-    outstanding_.push_back(done);
-    if (miss.isLoad)
-        lastMissComplete_ = done;
+    std::uint64_t tag = kNoTag;
+    if (miss.isLoad) {
+        tag = nextLoadTag_++;
+        lastLoadTag_ = tag;
+        lastLoadResolved_ = false;
+    }
+    ++unresolved_;
+    org_.submit(clock_, miss.line, false, miss.pc, id_, tag, this);
     // The core continues past the load (OoO overlap); backpressure
     // comes from the window and from dependences.
     clock_ += 1;
+}
+
+void
+CpuCore::onMemComplete(const MemRequest &req, Tick done)
+{
+    assert(unresolved_ > 0);
+    --unresolved_;
+    outstanding_.push_back(done);
+    if (req.tag != kNoTag && req.tag == lastLoadTag_) {
+        lastMissComplete_ = done;
+        lastLoadResolved_ = true;
+    }
+    if (blockReason_ == BlockReason::WindowFull ||
+        (blockReason_ == BlockReason::Dependence && lastLoadResolved_)) {
+        // Unpark at the data-arrival time; the event queue delivers in
+        // global-time order, so this never regresses the clock below a
+        // tick the kernel already dispatched.
+        blockReason_ = BlockReason::None;
+        clock_ = std::max(clock_, done);
+    }
 }
 
 void
@@ -69,9 +99,10 @@ CpuCore::finishAccess()
     clock_ += llc_.hitLatency();
 
     // Evicted dirty line goes out through the writeback queue; it
-    // costs bandwidth but never blocks the core.
+    // costs bandwidth but never blocks the core (fire-and-forget: no
+    // client, no window slot).
     if (res.writeback)
-        org_.access(clock_, *res.writeback, true, acc.pc, id_);
+        org_.submit(clock_, *res.writeback, true, acc.pc, id_);
 
     pendingMiss_ = PendingMiss{phys_line, acc.pc, !acc.isWrite};
     tryIssuePendingMiss();
@@ -97,9 +128,17 @@ CpuCore::step()
         inflight_ = InFlight{acc, 0, Stage::NeedTranslate};
         // Dependent (pointer-chase) accesses cannot start before the
         // producer's data arrives; yield so other cores fill the gap.
-        if (acc.dependsOnPrev && lastMissComplete_ > clock_) {
-            clock_ = lastMissComplete_;
-            return;
+        // With the producer still unresolved (Queued timing) there is
+        // no arrival tick to yield to yet — park for its completion.
+        if (acc.dependsOnPrev) {
+            if (!lastLoadResolved_) {
+                blockReason_ = BlockReason::Dependence;
+                return;
+            }
+            if (lastMissComplete_ > clock_) {
+                clock_ = lastMissComplete_;
+                return;
+            }
         }
     }
 

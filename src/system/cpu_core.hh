@@ -20,6 +20,16 @@
  * cores, which the DRAM reservation model relies on; without it, a
  * core returning from a 100K-cycle fault would reserve buses far in
  * the future and stall everyone else behind phantom queueing.
+ *
+ * Misses enter the memory system through MemoryOrganization::submit()
+ * and return through onMemComplete() (the core is a MemClient). In
+ * Blocking timing the completion fires inside submit(), reproducing
+ * the legacy synchronous flow bit-for-bit. In Queued timing it arrives
+ * later from the kernel's event queue; until then the miss occupies an
+ * *unresolved* window slot, and a core whose window is all-unresolved
+ * (or that depends on an unresolved load) parks — blocked() goes true,
+ * the kernel removes it from the dispatch heap, and the completion
+ * unparks it at the data-arrival tick.
  */
 
 #ifndef CAMEO_SYSTEM_CPU_CORE_HH
@@ -32,6 +42,7 @@
 
 #include "orgs/memory_organization.hh"
 #include "sim/kernel.hh"
+#include "sim/mem_request.hh"
 #include "system/llc.hh"
 #include "trace/access_source.hh"
 #include "trace/generator.hh"
@@ -41,7 +52,7 @@ namespace cameo
 {
 
 /** One simulated core consuming a synthetic trace. */
-class CpuCore : public Agent
+class CpuCore : public Agent, public MemClient
 {
   public:
     /**
@@ -66,7 +77,14 @@ class CpuCore : public Agent
     {
         return processed_ >= numAccesses_ && !inflight_ && !pendingMiss_;
     }
+    bool blocked() const override
+    {
+        return blockReason_ != BlockReason::None;
+    }
     void step() override;
+
+    /** Miss completion (from submit() or the event queue). */
+    void onMemComplete(const MemRequest &req, Tick done) override;
 
     /** Completion time including in-flight misses. */
     Tick finishTick() const;
@@ -98,6 +116,14 @@ class CpuCore : public Agent
         bool isLoad;
     };
 
+    /** Why the core is parked (Queued timing only; see blocked()). */
+    enum class BlockReason
+    {
+        None,       ///< Runnable.
+        WindowFull, ///< Every miss-window slot is unresolved.
+        Dependence, ///< Next access depends on an unresolved load.
+    };
+
     /** Records pulled from the source per refill() virtual call. */
     static constexpr std::uint32_t kRefillBatch = 64;
 
@@ -127,7 +153,23 @@ class CpuCore : public Agent
 
     Tick clock_ = 0;
     Tick lastMissComplete_ = 0;
+
+    /** Completion ticks of *resolved* misses still holding a window
+     *  slot (freed when the clock catches up with them). */
     std::vector<Tick> outstanding_;
+
+    /** Submitted misses whose completion has not arrived yet (always 0
+     *  between steps in Blocking timing). */
+    std::uint32_t unresolved_ = 0;
+
+    /** Tag of the most recently issued load miss (see MemRequest::tag);
+     *  dependence stalls wait for exactly this one. */
+    std::uint64_t lastLoadTag_ = 0;
+    std::uint64_t nextLoadTag_ = 1;
+    bool lastLoadResolved_ = true;
+
+    BlockReason blockReason_ = BlockReason::None;
+
     std::optional<InFlight> inflight_;
     std::optional<PendingMiss> pendingMiss_;
     std::uint64_t processed_ = 0;

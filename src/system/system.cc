@@ -106,8 +106,13 @@ System::run()
     SimKernel kernel;
     for (auto &core : cores_)
         kernel.addAgent(core.get());
+    // Queued timing: miss completions travel through the kernel's
+    // event queue for the duration of the run.
+    if (config_.timingMode == TimingMode::Queued)
+        org_->bindEventQueue(&kernel.events());
     kernel.run(config_.maxKernelSteps != 0 ? config_.maxKernelSteps
                                            : ~std::uint64_t{0});
+    org_->bindEventQueue(nullptr);
 
     RunResult r;
     r.kernelSteps = kernel.stepsExecuted();

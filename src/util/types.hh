@@ -53,6 +53,30 @@ inline constexpr std::uint64_t kLinesPerPage = kPageBytes / kLineBytes;
 /** A tick value that no real event ever reaches. */
 inline constexpr Tick kTickMax = ~Tick{0};
 
+/**
+ * Timing discipline of the memory pipeline (see DESIGN.md §9).
+ *
+ *  - Blocking: the legacy semantics routed through the transaction
+ *    API — every request completes synchronously at submit time and
+ *    DRAM writes are posted at half-burst bus cost. Bit-identical to
+ *    the pre-pipeline simulator.
+ *  - Queued: per-channel read/write queues with FR-FCFS write drains
+ *    and a bounded in-service read window; completions are delivered
+ *    through the kernel's event queue.
+ */
+enum class TimingMode
+{
+    Blocking,
+    Queued,
+};
+
+/** Printable name of a timing mode. */
+constexpr const char *
+timingModeName(TimingMode mode)
+{
+    return mode == TimingMode::Queued ? "queued" : "blocking";
+}
+
 /** Convert a byte address to the line that contains it. */
 constexpr LineAddr
 lineOf(Addr addr)

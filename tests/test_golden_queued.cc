@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Golden-stats regression test (Queued timing): the same matrix as
+ * test_golden.cc but with the DRAM controller queues and
+ * event-delivered completions enabled, pinned against its own
+ * reference (tests/golden/golden_stats_queued.json). Queued timing is
+ * deliberately *not* bit-identical to Blocking — write drains occupy
+ * real bank/bus time and full miss windows park cores — so it gets a
+ * separate reference that catches unintended drift in the contention
+ * model itself.
+ *
+ * Regenerate after an *intentional* behaviour change:
+ *
+ *     CAMEO_UPDATE_GOLDEN=1 ./build/tests/test_golden_queued
+ */
+
+#include <gtest/gtest.h>
+
+#include "golden_common.hh"
+
+#ifndef CAMEO_GOLDEN_STATS_QUEUED_PATH
+#error "CAMEO_GOLDEN_STATS_QUEUED_PATH must be defined by the build"
+#endif
+
+namespace cameo
+{
+namespace
+{
+
+/** The pinned matrix: short traces, default seed, Queued timing. */
+SystemConfig
+queuedGoldenConfig()
+{
+    SystemConfig config = defaultConfig();
+    config.accessesPerCore = 20'000;
+    config.timingMode = TimingMode::Queued;
+    return config;
+}
+
+TEST(GoldenStatsQueuedTest, MatrixMatchesCheckedInReference)
+{
+    golden::compareAgainstReference(
+        golden::simulateGoldenMatrix(queuedGoldenConfig()),
+        CAMEO_GOLDEN_STATS_QUEUED_PATH);
+}
+
+TEST(GoldenStatsQueuedTest, ReferenceCoversTheFullMatrix)
+{
+    golden::expectFullCoverage(CAMEO_GOLDEN_STATS_QUEUED_PATH);
+}
+
+} // namespace
+} // namespace cameo

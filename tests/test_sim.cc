@@ -73,6 +73,24 @@ TEST(EventQueueTest, CurTickTracksExecution)
     EXPECT_EQ(q.curTick(), 42u);
 }
 
+TEST(EventQueueTest, FifoTieBreakSurvivesInterleavedExecution)
+{
+    // Same-tick FIFO must hold even when execution interleaves with
+    // scheduling: an event submitted at the current tick (mid-drain)
+    // still runs after earlier same-tick submissions and before any
+    // later tick. This is the ordering queued-timing completions rely
+    // on for jobs-independent determinism.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&](Tick) { order.push_back(1); });
+    q.schedule(7, [&](Tick) { order.push_back(4); });
+    q.runOne(); // executes tick 5; curTick() == 5
+    q.schedule(5, [&](Tick) { order.push_back(2); });
+    q.schedule(5, [&](Tick) { order.push_back(3); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
 /** Agent that advances its clock by a fixed stride per step. */
 class StrideAgent : public Agent
 {
@@ -167,6 +185,93 @@ class JumpingAgent : public Agent
     int steps_ = 0;
     std::vector<Tick> *log_;
 };
+
+TEST(SimKernelTest, EventsInterleaveWithAgentStepsInTimeOrder)
+{
+    // Events in the kernel's queue fire when their tick is at or
+    // before the next agent dispatch: the combined step/delivery
+    // sequence is globally time-ordered, with ties resolved
+    // event-first. Queued-timing completions depend on this.
+    std::vector<std::pair<int, Tick>> log;
+    StrideAgent agent(0, 10, 5, &log, 0); // steps at 0,10,20,30,40
+    SimKernel kernel;
+    kernel.addAgent(&agent);
+    // Each event records (its tick, agent steps taken so far).
+    std::vector<std::pair<Tick, std::size_t>> fired;
+    for (const Tick t : {Tick{25}, Tick{5}, Tick{20}})
+        kernel.events().schedule(t, [&](Tick when) {
+            fired.emplace_back(when, log.size());
+        });
+    kernel.run();
+
+    ASSERT_EQ(fired.size(), 3u);
+    // Tick 5: after the agent's tick-0 step only.
+    EXPECT_EQ(fired[0], (std::pair<Tick, std::size_t>{5, 1}));
+    // Tick 20 ties with an agent step at 20: the event fires first,
+    // so only the tick-0 and tick-10 steps precede it.
+    EXPECT_EQ(fired[1], (std::pair<Tick, std::size_t>{20, 2}));
+    // Tick 25: after the agent's tick-20 step.
+    EXPECT_EQ(fired[2], (std::pair<Tick, std::size_t>{25, 3}));
+    ASSERT_EQ(log.size(), 5u);
+}
+
+/** Agent that issues one "miss", parks, and resumes on completion. */
+class ParkingAgent : public Agent
+{
+  public:
+    explicit ParkingAgent(EventQueue *events) : events_(events) {}
+
+    Tick nextReadyTick() const override { return clock_; }
+    bool done() const override { return steps_ >= 2; }
+    bool blocked() const override { return parked_; }
+
+    void
+    step() override
+    {
+        ++steps_;
+        if (steps_ == 1) {
+            // Miss: completion arrives at tick 500; park until then.
+            parked_ = true;
+            events_->schedule(500, [this](Tick when) {
+                parked_ = false;
+                clock_ = when;
+            });
+        }
+    }
+
+    int steps() const { return steps_; }
+
+  private:
+    EventQueue *events_;
+    Tick clock_ = 0;
+    int steps_ = 0;
+    bool parked_ = false;
+};
+
+TEST(SimKernelTest, ParkedAgentResumesOnCompletionEvent)
+{
+    SimKernel kernel;
+    ParkingAgent agent(&kernel.events());
+    kernel.addAgent(&agent);
+    const Tick finish = kernel.run();
+    EXPECT_EQ(agent.steps(), 2);
+    EXPECT_TRUE(agent.done());
+    EXPECT_EQ(finish, 500u);
+}
+
+TEST(SimKernelTest, LeftoverEventsDrainBeforeReturn)
+{
+    // Agents can finish with completions still in flight; run() must
+    // deliver them before returning so pipeline bookkeeping settles.
+    std::vector<std::pair<int, Tick>> log;
+    StrideAgent agent(0, 10, 2, &log, 0); // finishes at tick 20
+    SimKernel kernel;
+    kernel.addAgent(&agent);
+    bool delivered = false;
+    kernel.events().schedule(1000, [&](Tick) { delivered = true; });
+    kernel.run();
+    EXPECT_TRUE(delivered);
+}
 
 TEST(SimKernelTest, OtherAgentsRunDuringJumps)
 {

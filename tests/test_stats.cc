@@ -69,6 +69,54 @@ TEST(DistributionTest, HistogramBuckets)
     EXPECT_EQ(d.overflow(), 2u);
 }
 
+TEST(DistributionTest, PercentilesInterpolateWithinBuckets)
+{
+    // Unit-width buckets over 1..100: with one sample per value, the
+    // interpolated quantiles land on the sample values themselves.
+    Distribution d("d", "desc", 1, 128);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        d.sample(v);
+    EXPECT_TRUE(d.hasHistogram());
+    EXPECT_NEAR(d.percentile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(d.percentile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(d.percentile(0.99), 99.0, 1.0);
+    // Extremes clamp to the exact observed range.
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 100.0);
+}
+
+TEST(DistributionTest, PercentileClampsToObservedRange)
+{
+    // All mass in one wide bucket: interpolation stays within the
+    // observed [min, max], not the bucket's nominal [0, width) span.
+    Distribution d("d", "desc", 1000, 4);
+    d.sample(400);
+    d.sample(410);
+    d.sample(420);
+    EXPECT_GE(d.percentile(0.01), 400.0);
+    EXPECT_LE(d.percentile(0.99), 420.0);
+}
+
+TEST(DistributionTest, PercentileOverflowResolvesToMax)
+{
+    Distribution d("d", "desc", 10, 2); // covers [0, 20); rest overflows
+    d.sample(5);
+    d.sample(500);
+    d.sample(700);
+    EXPECT_DOUBLE_EQ(d.percentile(0.99), 700.0);
+}
+
+TEST(DistributionTest, PercentileWithoutHistogramIsZero)
+{
+    Distribution no_hist("d", "desc");
+    no_hist.sample(42);
+    EXPECT_FALSE(no_hist.hasHistogram());
+    EXPECT_DOUBLE_EQ(no_hist.percentile(0.5), 0.0);
+
+    Distribution empty("d", "desc", 10, 4);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+}
+
 TEST(DistributionTest, ResetClearsEverything)
 {
     Distribution d("d", "desc", 5, 2);
@@ -126,6 +174,35 @@ TEST(RegistryTest, DumpContainsEntries)
     reg.dump(out);
     EXPECT_NE(out.str().find("alpha.count"), std::string::npos);
     EXPECT_NE(out.str().find("99"), std::string::npos);
+}
+
+TEST(RegistryTest, DumpsReportPercentilesForBucketedDistributions)
+{
+    StatRegistry reg;
+    Distribution lat("mem.lat", "latency", 1, 128);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        lat.sample(v);
+    Distribution plain("mem.plain", "no histogram");
+    plain.sample(7);
+    reg.add(lat);
+    reg.add(plain);
+
+    std::ostringstream text;
+    reg.dump(text);
+    EXPECT_NE(text.str().find("p95="), std::string::npos);
+
+    std::ostringstream json;
+    reg.dumpJson(json);
+    EXPECT_NE(json.str().find("\"p99\""), std::string::npos);
+
+    std::ostringstream csv;
+    reg.dumpCsv(csv);
+    const std::string s = csv.str();
+    EXPECT_EQ(s.rfind("name,value,count,sum,min,max,mean,p50,p95,p99", 0),
+              0u);
+    EXPECT_NE(s.find("mem.lat,"), std::string::npos);
+    // The histogram-less distribution has empty percentile cells.
+    EXPECT_NE(s.find("mem.plain"), std::string::npos);
 }
 
 TEST(TextTableTest, AlignedOutput)

@@ -20,6 +20,12 @@ enforces:
      directories ``src/vm`` and ``src/orgs``: per-access lookups there
      use ``util/flat_map.hh`` (open addressing, no per-node
      allocation). Cold-path exceptions go in ``HASH_MAP_ALLOWLIST``.
+  6. No direct ``DramModule::access`` calls in the pipeline layers
+     (``src/orgs``, ``src/core``, ``src/system``): device commands go
+     through ``DramModule::request`` so the Queued timing mode sees
+     every command (DESIGN.md §9). ``access`` remains only as the
+     blocking shim inside ``src/dram`` and for tests. Exceptions go in
+     ``DRAM_ACCESS_ALLOWLIST``.
 
 Usage: ``python3 tools/lint.py [repo-root]``. Exits non-zero and prints
 ``file:line: message`` for every violation.
@@ -70,6 +76,25 @@ HASH_MAP_ALLOWLIST: set[str] = set()
 
 HASH_MAP_INCLUDE_RE = re.compile(
     r"^\s*#\s*include\s*<(unordered_map|unordered_set)>"
+)
+
+
+# Layers that must reach DRAM devices through DramModule::request (the
+# transaction pipeline's entry point) rather than the blocking
+# DramModule::access shim.
+DRAM_PIPELINE_DIRS = ("src/orgs", "src/core", "src/system")
+
+# Pipeline-layer files allowed to call DramModule::access directly
+# (none today; the blocking shim lives in src/dram and is out of
+# scope). Add "src/orgs/foo.cc" style paths here.
+DRAM_ACCESS_ALLOWLIST: set[str] = set()
+
+# DRAM modules are uniformly named stacked_/offchip_ or reached via the
+# stackedModule()/offchipModule() accessors; match .access( on any of
+# those spellings.
+DRAM_ACCESS_RE = re.compile(
+    r"(?:(?:stacked_|offchip_)\s*\.|stackedModule\(\)\s*->"
+    r"|offchipModule\(\)\s*\.)\s*access\s*\("
 )
 
 
@@ -199,6 +224,22 @@ def check_hot_path_containers(
             )
 
 
+def check_dram_pipeline(rel: Path, text: str, problems: list[str]) -> None:
+    posix = rel.as_posix()
+    if not posix.startswith(tuple(d + "/" for d in DRAM_PIPELINE_DIRS)):
+        return
+    if posix in DRAM_ACCESS_ALLOWLIST:
+        return
+    stripped = strip_comments_and_strings(text)
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        if DRAM_ACCESS_RE.search(line):
+            problems.append(
+                f"{rel}:{lineno}: direct DramModule::access call in "
+                f"pipeline layer; use DramModule::request (or add to "
+                f"DRAM_ACCESS_ALLOWLIST)"
+            )
+
+
 def check_hygiene(rel: Path, text: str, problems: list[str]) -> None:
     for lineno, line in enumerate(text.splitlines(), 1):
         if "\t" in line:
@@ -234,6 +275,7 @@ def main(argv: list[str]) -> int:
             check_file_doc(rel, text, problems)
         check_nondeterminism(rel, text, problems)
         check_hot_path_containers(rel, text, problems)
+        check_dram_pipeline(rel, text, problems)
         check_hygiene(rel, text, problems)
 
     for problem in problems:
