@@ -22,11 +22,21 @@
  *   --predictor   sam|llp|perfect                          (default llp)
  *   --llp-entries LLR entries per core                     (default 256)
  *   --timing      blocking|queued memory pipeline           (default blocking)
+ *   --warmup      accesses per core skipped before measurement
+ *                 (fast-forwarded via AccessSource::skip)    (default 0)
  *   --refresh     model DRAM refresh (tREFI 7.8us, tRFC 350ns)
  *   --baseline    also run the baseline and report speedup
  *   --jobs        sweep-engine worker threads (0 = auto; also
  *                 CAMEO_BENCH_JOBS). With --baseline the two runs
  *                 execute concurrently.
+ *   --trace-cache-dir  persist recorded access streams as packed trace
+ *                 files in this directory and mmap them back on later
+ *                 runs (also CAMEO_TRACE_CACHE_DIR). Implies the trace
+ *                 arena. Stale files are detected by an embedded key
+ *                 and re-recorded, never silently replayed.
+ *   --no-arena    never route streams through the trace-arena cache
+ *                 (it is used automatically when this invocation would
+ *                 generate the same stream twice, i.e. --baseline)
  *   --dump-stats  print the full statistics registry
  *   --json        machine-readable stats (implies --dump-stats)
  *   --csv         CSV stats with percentiles (implies --dump-stats)
@@ -39,6 +49,7 @@
 
 #include "exp/sweep.hh"
 #include "system/system.hh"
+#include "trace/trace_arena.hh"
 #include "trace/workloads.hh"
 #include "util/cli.hh"
 
@@ -154,7 +165,20 @@ main(int argc, char **argv)
         config.stacked.tRfc = 560;
     }
 
+    config.warmupAccessesPerCore = cli.getUint("warmup", 0);
+
     const bool want_baseline = cli.getBool("baseline");
+
+    // Arena policy: replaying from the arena only pays off when the
+    // same stream is consumed more than once — a --baseline comparison
+    // does, and a persistent cache directory makes every later
+    // invocation a consumer too.
+    const std::string cache_dir = cli.getString("trace-cache-dir", "");
+    if (!cache_dir.empty())
+        TraceArenaCache::instance().setCacheDir(cache_dir);
+    config.useTraceArena =
+        (want_baseline || !cache_dir.empty()) && !cli.getBool("no-arena");
+
     const bool json = cli.getBool("json");
     const bool csv = cli.getBool("csv");
     const bool dump = cli.getBool("dump-stats") || json || csv;

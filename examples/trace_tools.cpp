@@ -2,16 +2,20 @@
  * @file
  * trace_tools: record, inspect, and replay binary trace files.
  *
- *   trace_tools record <workload> <out.trc> [count]
- *       Record a synthetic stream to a trace file.
+ *   trace_tools record <workload> <out.trc> [count] [raw|packed]
+ *       Record a synthetic stream to a trace file (default packed,
+ *       the compact version-2 format; raw emits fixed 24-byte
+ *       records).
  *   trace_tools info <trace.trc>
- *       Print record count and summary statistics.
+ *       Print format, record count, and summary statistics.
  *   trace_tools replay <trace.trc> <org> [accessesPerCore]
  *       Run a simulation where every core replays the trace
- *       (rate mode, staggered start offsets per core).
+ *       (rate mode, staggered start offsets per core). Traces are
+ *       mmap'd where the platform allows, so replay is zero-copy.
  *
- * The format is documented in src/trace/trace_file.hh; external
- * tracers (Pin, DynamoRIO, gem5 probes) can emit it directly.
+ * Both formats are documented in src/trace/trace_file.hh; external
+ * tracers (Pin, DynamoRIO, gem5 probes) can emit the raw one
+ * directly.
  */
 
 #include <cstdlib>
@@ -33,7 +37,7 @@ cmdRecord(int argc, char **argv)
 {
     if (argc < 4) {
         std::cerr << "usage: trace_tools record <workload> <out.trc> "
-                     "[count]\n";
+                     "[count] [raw|packed]\n";
         return EXIT_FAILURE;
     }
     const WorkloadProfile *profile = findWorkload(argv[2]);
@@ -43,17 +47,31 @@ cmdRecord(int argc, char **argv)
     }
     const std::uint64_t count =
         argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 200'000;
+    TraceFormat format = TraceFormat::Packed;
+    if (argc > 5) {
+        const std::string name = argv[5];
+        if (name == "raw")
+            format = TraceFormat::Raw;
+        else if (name != "packed") {
+            std::cerr << "unknown format '" << name
+                      << "' (raw|packed)\n";
+            return EXIT_FAILURE;
+        }
+    }
     const SystemConfig config = defaultConfig();
     SyntheticGenerator gen(*profile,
                            config.generatorParamsFor(*profile),
                            config.seed);
-    const std::uint64_t written = recordTrace(gen, argv[3], count);
+    const std::uint64_t written =
+        recordTrace(gen, argv[3], count, format);
     if (written == 0) {
         std::cerr << "failed to write " << argv[3] << "\n";
         return EXIT_FAILURE;
     }
-    std::cout << "wrote " << written << " records ("
-              << written * 24 / 1024 << " KB) to " << argv[3] << "\n";
+    std::cout << "wrote " << written << " records to " << argv[3]
+              << " ("
+              << (format == TraceFormat::Packed ? "packed" : "raw")
+              << ")\n";
     return EXIT_SUCCESS;
 }
 
@@ -65,6 +83,10 @@ cmdInfo(int argc, char **argv)
         return EXIT_FAILURE;
     }
     TraceReader reader(argv[2]);
+    std::cout << argv[2] << ":\n  format       "
+              << (reader.format() == TraceFormat::Packed ? "packed (v2)"
+                                                         : "raw (v1)")
+              << (reader.zeroCopy() ? ", mmap" : ", loaded") << "\n";
     std::set<PageAddr> pages;
     std::set<InstAddr> pcs;
     std::uint64_t writes = 0, dependent = 0, instructions = 0;
@@ -76,7 +98,7 @@ cmdInfo(int argc, char **argv)
         dependent += a.dependsOnPrev;
         instructions += a.gapInstructions;
     }
-    std::cout << argv[2] << ":\n  records      " << reader.size()
+    std::cout << "  records      " << reader.size()
               << "\n  instructions " << instructions
               << "\n  footprint    " << pages.size() << " pages ("
               << (pages.size() * kPageBytes >> 10) << " KB)"
@@ -125,8 +147,9 @@ cmdReplay(int argc, char **argv)
         auto reader = std::make_unique<TraceReader>(path);
         const std::uint64_t stagger =
             reader->size() / 8 * (core % 8);
-        for (std::uint64_t i = 0; i < stagger; ++i)
-            reader->next();
+        // O(1) for raw traces, checkpoint-bounded for packed ones —
+        // no per-record discard loop.
+        reader->skip(stagger);
         return reader;
     };
 

@@ -190,17 +190,29 @@ runComparison(const SystemConfig &base_config,
               std::span<const WorkloadProfile> workloads,
               const SweepOptions &options)
 {
+    // Arena routing: flip useTraceArena on local config copies (the
+    // originals are the caller's). Configs with a custom sourceFactory
+    // keep their stream provider either way.
+    SystemConfig arena_base = base_config;
+    arena_base.useTraceArena =
+        options.traceArena && !arena_base.sourceFactory;
+    std::vector<DesignPoint> arena_points(points.begin(), points.end());
+    for (DesignPoint &point : arena_points) {
+        point.config.useTraceArena =
+            options.traceArena && !point.config.sourceFactory;
+    }
+
     // Job layout: for each workload, the baseline run followed by one
     // run per design point. The flat index encodes the (row, column)
     // slot, so reassembly below is pure arithmetic.
     std::vector<SweepJob> jobs;
-    jobs.reserve(workloads.size() * (points.size() + 1));
+    jobs.reserve(workloads.size() * (arena_points.size() + 1));
     for (const WorkloadProfile &wl : workloads) {
         jobs.push_back(
-            {wl.name + "/baseline", [&base_config, wl] {
-                 return runWorkload(base_config, OrgKind::Baseline, wl);
+            {wl.name + "/baseline", [&arena_base, wl] {
+                 return runWorkload(arena_base, OrgKind::Baseline, wl);
              }});
-        for (const DesignPoint &point : points) {
+        for (const DesignPoint &point : arena_points) {
             jobs.push_back(
                 {wl.name + "/" + point.label, [&point, wl] {
                      return runWorkload(point.config, point.kind, wl);

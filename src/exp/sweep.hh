@@ -67,6 +67,17 @@ struct SweepOptions
      * results do not depend on execution order.
      */
     std::uint64_t shuffleSeed = 0;
+
+    /**
+     * Route the sweep's access streams through the process-wide
+     * TraceArenaCache (DESIGN.md §10): the first job touching a
+     * workload records its stream once, every other job replays the
+     * packed arena. Replay is bit-identical to fresh generation, so
+     * this is purely a wall-clock knob. Applied by runComparison() to
+     * configs without a custom sourceFactory; ignored entirely when
+     * the cache is disabled via CAMEO_TRACE_ARENA_MB=0.
+     */
+    bool traceArena = true;
 };
 
 /** Host-side measurements of the last SweepRunner::run call. */

@@ -93,6 +93,27 @@ struct SystemConfig
     std::uint64_t accessesPerCore = 200'000;
 
     /**
+     * Accesses per core consumed before measurement starts: each
+     * core's source is fast-forwarded this far (AccessSource::skip)
+     * before simulation, so caches and predictors see a stream that
+     * is already past its cold start. 0 (the default, and the golden
+     * configuration) measures from the first record.
+     */
+    std::uint64_t warmupAccessesPerCore = 0;
+
+    /**
+     * Route access streams through the process-wide TraceArenaCache
+     * (trace/trace_arena.hh): the first run for a (profile, params,
+     * seed) records the stream once into a packed arena, every later
+     * run replays it. Replay is bit-identical to fresh generation, so
+     * results do not change — only redundant generator work goes away.
+     * Ignored when sourceFactory is set or the cache is disabled
+     * (CAMEO_TRACE_ARENA_MB=0). Off by default so single-run tools and
+     * tests pay no cache residency; sweeps turn it on (SweepOptions).
+     */
+    bool useTraceArena = false;
+
+    /**
      * Runaway guard for the simulation kernel: maximum agent steps per
      * run (0 = unlimited). A run that hits the limit is reported as
      * truncated in RunResult — its execution time understates reality.

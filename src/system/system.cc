@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "sim/kernel.hh"
+#include "trace/trace_arena.hh"
 #include "util/bitops.hh"
 
 namespace cameo
@@ -33,24 +34,46 @@ System::System(const SystemConfig &config, OrgKind kind,
     assert(org_ != nullptr);
     assert(!profiles_.empty());
 
-    // Each core's access stream: a synthetic generator by default, or
-    // whatever the configured factory provides (trace replay).
+    // Arena replay applies when nothing else supplies the stream: the
+    // cache records each (profile, params, seed) once and replays it
+    // bit-identically for every later run (DESIGN.md §10).
+    const bool use_arena = !config_.sourceFactory &&
+                           config_.useTraceArena &&
+                           TraceArenaCache::instance().enabled();
+    // Arena record count covers warmup + measurement, so a core that
+    // consumes both never wraps the arena.
+    const std::uint64_t stream_records =
+        config_.warmupAccessesPerCore + config_.accessesPerCore;
+
+    // Each core's access stream: a synthetic generator by default, an
+    // arena replay when enabled, or whatever the configured factory
+    // provides (trace replay). Warmup records are skipped here so the
+    // core's first fetched record is the first measured one.
     const auto make_source =
         [&](std::uint32_t c) -> std::unique_ptr<AccessSource> {
         const WorkloadProfile &p = profileFor(c);
         const GeneratorParams gp = config_.generatorParamsFor(p);
+        const std::uint64_t seed = coreSeed(config_.seed, c);
+        std::unique_ptr<AccessSource> source;
         if (config_.sourceFactory) {
-            return config_.sourceFactory(c, p, gp,
-                                         coreSeed(config_.seed, c));
+            source = config_.sourceFactory(c, p, gp, seed);
+        } else if (use_arena) {
+            source = TraceArenaCache::instance().source(
+                p, gp, seed, stream_records);
+        } else {
+            source = std::make_unique<SyntheticGenerator>(p, gp, seed);
         }
-        return std::make_unique<SyntheticGenerator>(
-            p, gp, coreSeed(config_.seed, c));
+        if (config_.warmupAccessesPerCore > 0)
+            source->skip(config_.warmupAccessesPerCore);
+        return source;
     };
 
     // TLM-Oracle: replay the deterministic sources standalone to build
     // the oracular page-heat profile before any simulation. Footprint
     // hints size both maps up front so the profiling pass never
-    // rehashes.
+    // rehashes. With the arena active the per-core histograms are
+    // memoized in the cache, so a sweep profiles each stream once
+    // instead of once per oracle job.
     if (kind_ == OrgKind::TlmOracle) {
         const auto pages_hint = [&](std::uint32_t c) -> std::size_t {
             const GeneratorParams gp =
@@ -63,11 +86,23 @@ System::System(const SystemConfig &config, OrgKind kind,
             total_hint += pages_hint(c);
         PageHeatMap heat(total_hint);
         for (std::uint32_t c = 0; c < config_.numCores; ++c) {
-            const auto source = make_source(c);
-            const auto core_heat = profilePageHeat(
-                *source, config_.accessesPerCore, pages_hint(c));
-            for (const auto &[vpage, count] : core_heat)
-                heat[pageHeatKey(c, vpage)] += count;
+            if (use_arena) {
+                const WorkloadProfile &p = profileFor(c);
+                const auto core_heat =
+                    TraceArenaCache::instance().pageHeat(
+                        p, config_.generatorParamsFor(p),
+                        coreSeed(config_.seed, c), stream_records,
+                        config_.warmupAccessesPerCore,
+                        config_.accessesPerCore, pages_hint(c));
+                for (const auto &[vpage, count] : *core_heat)
+                    heat[pageHeatKey(c, vpage)] += count;
+            } else {
+                const auto source = make_source(c);
+                const auto core_heat = profilePageHeat(
+                    *source, config_.accessesPerCore, pages_hint(c));
+                for (const auto &[vpage, count] : core_heat)
+                    heat[pageHeatKey(c, vpage)] += count;
+            }
         }
         org_->setPageHeat(std::move(heat));
     }

@@ -18,6 +18,7 @@
 #define CAMEO_TRACE_ACCESS_SOURCE_HH
 
 #include <cstddef>
+#include <cstdint>
 
 #include "trace/access.hh"
 
@@ -39,6 +40,25 @@ class AccessSource
      * so batch boundaries never change the stream.
      */
     virtual void refill(Access *buf, std::size_t n) = 0;
+
+    /**
+     * Advance the stream @p n records without delivering them, as if
+     * refill() had been called and the results discarded. Used for
+     * warmup fast-forward and replay stagger. The default materializes
+     * records into a scratch buffer in chunks; sources with cheaper
+     * ways to advance (checkpointed arenas, fixed-record trace files)
+     * override it.
+     */
+    virtual void skip(std::uint64_t n)
+    {
+        Access scratch[64];
+        while (n > 0) {
+            const std::size_t chunk =
+                n < 64 ? static_cast<std::size_t>(n) : std::size_t{64};
+            refill(scratch, chunk);
+            n -= chunk;
+        }
+    }
 
     /** Single-record convenience wrapper over refill(). */
     Access next()

@@ -215,6 +215,16 @@ SyntheticGenerator::refill(Access *buf, std::size_t n)
         buf[i] = generate();
 }
 
+void
+SyntheticGenerator::skip(std::uint64_t n)
+{
+    // The state machine must still run (every record advances RNG and
+    // cursor state), but skipping avoids the scratch-buffer round-trip
+    // of the base-class default.
+    for (std::uint64_t i = 0; i < n; ++i)
+        (void)generate();
+}
+
 Access
 SyntheticGenerator::generate()
 {

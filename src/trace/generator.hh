@@ -59,6 +59,10 @@ class SyntheticGenerator : public AccessSource
     /** Produce the next @p n accesses. Never exhausts. */
     void refill(Access *buf, std::size_t n) override;
 
+    /** Advance the state machine @p n records without a buffer
+     *  round-trip (warmup fast-forward). */
+    void skip(std::uint64_t n) override;
+
     const WorkloadProfile &profile() const { return profile_; }
     std::uint64_t numPages() const { return numPages_; }
     std::uint64_t hotPages() const { return hotPages_; }

@@ -1,0 +1,300 @@
+#include "trace/packed_trace.hh"
+
+#include <cstdio>
+
+namespace cameo
+{
+
+namespace
+{
+
+// Flag-byte layout. Bits 3..7 are reserved and must be zero, which
+// validatePackedTrace exploits to reject garbage payloads early.
+constexpr std::uint8_t kFlagWrite = 0x01;
+constexpr std::uint8_t kFlagDependsOnPrev = 0x02;
+constexpr std::uint8_t kFlagPcRepeats = 0x04;
+constexpr std::uint8_t kFlagReservedMask = 0xf8;
+
+// A 64-bit varint never needs more than 10 bytes.
+constexpr int kMaxVarintBytes = 10;
+
+inline std::uint64_t
+zigzagEncode(std::uint64_t delta)
+{
+    const auto s = static_cast<std::int64_t>(delta);
+    return (static_cast<std::uint64_t>(s) << 1) ^
+           static_cast<std::uint64_t>(s >> 63);
+}
+
+inline std::uint64_t
+zigzagDecode(std::uint64_t value)
+{
+    return (value >> 1) ^ (~(value & 1) + 1);
+}
+
+inline void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+// Unchecked decode: only safe on payloads that passed
+// validatePackedTrace (or came straight out of the encoder).
+inline std::uint64_t
+getVarint(const std::uint8_t *&cursor)
+{
+    std::uint64_t value = *cursor++;
+    if (value < 0x80)
+        return value;
+    value &= 0x7f;
+    int shift = 7;
+    for (;;) {
+        const std::uint64_t byte = *cursor++;
+        value |= (byte & 0x7f) << shift;
+        if (byte < 0x80)
+            return value;
+        shift += 7;
+    }
+}
+
+inline void
+skipVarint(const std::uint8_t *&cursor)
+{
+    while (*cursor++ >= 0x80) {
+    }
+}
+
+// Bounds-checked decode for validation of untrusted bytes. Returns
+// false when the varint runs past @p end or exceeds 10 bytes.
+bool
+checkedVarint(const std::uint8_t *&cursor, const std::uint8_t *end,
+              std::uint64_t *out)
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (int i = 0; i < kMaxVarintBytes; ++i) {
+        if (cursor == end)
+            return false;
+        const std::uint64_t byte = *cursor++;
+        value |= (byte & 0x7f) << shift;
+        if (byte < 0x80) {
+            *out = value;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+PackedTraceEncoder::append(const Access &access)
+{
+    if (trace_.count % kTraceCheckpointInterval == 0) {
+        trace_.checkpoints.push_back(
+            TraceCheckpoint{trace_.bytes.size(), prevPc_, prevVaddr_});
+    }
+
+    std::uint8_t flags = 0;
+    if (access.isWrite)
+        flags |= kFlagWrite;
+    if (access.dependsOnPrev)
+        flags |= kFlagDependsOnPrev;
+    const bool pcRepeats = access.pc == prevPc_;
+    if (pcRepeats)
+        flags |= kFlagPcRepeats;
+    trace_.bytes.push_back(flags);
+
+    putVarint(trace_.bytes, access.gapInstructions);
+    putVarint(trace_.bytes, zigzagEncode(access.vaddr - prevVaddr_));
+    if (!pcRepeats)
+        putVarint(trace_.bytes, zigzagEncode(access.pc - prevPc_));
+
+    prevPc_ = access.pc;
+    prevVaddr_ = access.vaddr;
+    ++trace_.count;
+}
+
+PackedTrace
+PackedTraceEncoder::take()
+{
+    PackedTrace out = std::move(trace_);
+    trace_ = PackedTrace{};
+    prevPc_ = 0;
+    prevVaddr_ = 0;
+    return out;
+}
+
+PackedTraceCursor::PackedTraceCursor(const PackedTraceView &view)
+    : view_(view)
+{
+    rewind();
+}
+
+void
+PackedTraceCursor::rewind()
+{
+    cursor_ = view_.bytes;
+    record_ = 0;
+    pc_ = 0;
+    vaddr_ = 0;
+}
+
+void
+PackedTraceCursor::decodeOne(Access &out)
+{
+    const std::uint8_t flags = *cursor_++;
+    const auto gap = static_cast<std::uint32_t>(getVarint(cursor_));
+    vaddr_ += zigzagDecode(getVarint(cursor_));
+    if ((flags & kFlagPcRepeats) == 0)
+        pc_ += zigzagDecode(getVarint(cursor_));
+
+    out.pc = pc_;
+    out.vaddr = vaddr_;
+    out.isWrite = (flags & kFlagWrite) != 0;
+    out.dependsOnPrev = (flags & kFlagDependsOnPrev) != 0;
+    out.gapInstructions = gap;
+    ++record_;
+}
+
+void
+PackedTraceCursor::skipOne()
+{
+    const std::uint8_t flags = *cursor_++;
+    skipVarint(cursor_);
+    vaddr_ += zigzagDecode(getVarint(cursor_));
+    if ((flags & kFlagPcRepeats) == 0)
+        pc_ += zigzagDecode(getVarint(cursor_));
+    ++record_;
+}
+
+void
+PackedTraceCursor::refill(Access *buf, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (record_ == view_.count)
+            rewind();
+        decodeOne(buf[i]);
+    }
+}
+
+void
+PackedTraceCursor::skip(std::uint64_t n)
+{
+    if (view_.count == 0 || n == 0)
+        return;
+    // Wrap-aware absolute target, then jump to the nearest preceding
+    // checkpoint and walk at most one interval's worth of records.
+    const std::uint64_t target = (record_ + n) % view_.count;
+    const std::uint64_t cp = target / kTraceCheckpointInterval;
+    const TraceCheckpoint &check = view_.checkpoints[cp];
+    cursor_ = view_.bytes + check.byteOffset;
+    record_ = cp * kTraceCheckpointInterval;
+    pc_ = check.pc;
+    vaddr_ = check.vaddr;
+    while (record_ < target)
+        skipOne();
+}
+
+bool
+validatePackedTrace(const PackedTraceView &view, std::string *error)
+{
+    const auto fail = [&](std::uint64_t record, std::uint64_t offset,
+                          const std::string &what) {
+        if (error != nullptr) {
+            char head[96];
+            std::snprintf(head, sizeof(head),
+                          "packed trace record %llu at payload offset "
+                          "%llu: ",
+                          static_cast<unsigned long long>(record),
+                          static_cast<unsigned long long>(offset));
+            *error = head + what;
+        }
+        return false;
+    };
+
+    const std::uint64_t expectedCheckpoints =
+        view.count == 0
+            ? 0
+            : (view.count + kTraceCheckpointInterval - 1) /
+                  kTraceCheckpointInterval;
+    if (view.numCheckpoints != expectedCheckpoints) {
+        return fail(0, 0,
+                    "expected " + std::to_string(expectedCheckpoints) +
+                        " checkpoints for " + std::to_string(view.count) +
+                        " records, found " +
+                        std::to_string(view.numCheckpoints));
+    }
+
+    const std::uint8_t *cursor = view.bytes;
+    const std::uint8_t *const end = view.bytes + view.byteSize;
+    InstAddr pc = 0;
+    Addr vaddr = 0;
+
+    for (std::uint64_t i = 0; i < view.count; ++i) {
+        const auto offset = static_cast<std::uint64_t>(cursor - view.bytes);
+        if (i % kTraceCheckpointInterval == 0) {
+            const TraceCheckpoint &check =
+                view.checkpoints[i / kTraceCheckpointInterval];
+            if (check.byteOffset != offset || check.pc != pc ||
+                check.vaddr != vaddr) {
+                return fail(i, offset,
+                            "checkpoint " +
+                                std::to_string(i /
+                                               kTraceCheckpointInterval) +
+                                " disagrees with decoded stream "
+                                "(expected offset " +
+                                std::to_string(offset) + ", found " +
+                                std::to_string(check.byteOffset) + ")");
+            }
+        }
+        if (cursor == end)
+            return fail(i, offset, "payload ends before flag byte");
+        const std::uint8_t flags = *cursor++;
+        if ((flags & kFlagReservedMask) != 0) {
+            return fail(i, offset,
+                        "reserved flag bits set (flags byte 0x" +
+                            std::to_string(flags) + ")");
+        }
+        std::uint64_t value = 0;
+        if (!checkedVarint(cursor, end, &value))
+            return fail(i, offset, "truncated or overlong gap varint");
+        if (value > 0xffffffffULL) {
+            return fail(i, offset,
+                        "instruction gap " + std::to_string(value) +
+                            " exceeds 32 bits");
+        }
+        if (!checkedVarint(cursor, end, &value))
+            return fail(i, offset, "truncated or overlong vaddr varint");
+        vaddr += zigzagDecode(value);
+        if ((flags & kFlagPcRepeats) == 0) {
+            if (!checkedVarint(cursor, end, &value))
+                return fail(i, offset, "truncated or overlong pc varint");
+            pc += zigzagDecode(value);
+        }
+    }
+
+    if (cursor != end) {
+        return fail(view.count,
+                    static_cast<std::uint64_t>(cursor - view.bytes),
+                    "payload has " +
+                        std::to_string(end - cursor) +
+                        " trailing bytes past the last record");
+    }
+    return true;
+}
+
+PackedTrace
+packAccesses(const Access *buf, std::size_t n)
+{
+    PackedTraceEncoder encoder;
+    encoder.append(buf, n);
+    return encoder.take();
+}
+
+} // namespace cameo

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Packed access-record codec shared by the trace-arena cache and the
+ * version-2 on-disk trace format.
+ *
+ * A raw Access is ~24 bytes in memory; a sweep that materializes each
+ * workload's stream once (see trace_arena.hh) wants that stream to be
+ * compact enough to keep dozens of arenas resident. The packed format
+ * exploits the structure synthetic and real traces share:
+ *
+ *  - consecutive accesses are near each other (vaddr stored as a
+ *    zigzag varint delta from the previous record),
+ *  - the PC usually repeats within a burst (one flag bit; a zigzag
+ *    varint delta only when it changes),
+ *  - instruction gaps are small (plain varint).
+ *
+ * Typical streams pack to 5-9 bytes/record. Decoding is a short
+ * branch-light loop (flag byte + 1-3 varints), cheap enough that
+ * replaying a packed arena is several times faster than re-running
+ * the generator's RNG state machine.
+ *
+ * Checkpoints: every kTraceCheckpointInterval records the encoder
+ * saves (byte offset, pc, vaddr), so skip(n) jumps O(1) to the nearest
+ * checkpoint and decodes at most one interval — warmup fast-forward
+ * and per-core stagger never pay a full sequential decode.
+ */
+
+#ifndef CAMEO_TRACE_PACKED_TRACE_HH
+#define CAMEO_TRACE_PACKED_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/access.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Records between skip checkpoints (must be a power of two). */
+inline constexpr std::uint64_t kTraceCheckpointInterval = 1024;
+
+/** Decoder state snapshot taken before a checkpoint's record. */
+struct TraceCheckpoint
+{
+    std::uint64_t byteOffset = 0; ///< Payload offset of the record.
+    InstAddr pc = 0;              ///< Previous-pc state at that record.
+    Addr vaddr = 0;               ///< Previous-vaddr state.
+};
+
+/**
+ * Borrowed view of a packed stream: payload bytes plus the checkpoint
+ * table. The backing storage (a PackedTrace, an mmap'd file) must
+ * outlive the view; ArenaReplaySource keeps a shared_ptr for exactly
+ * this reason.
+ */
+struct PackedTraceView
+{
+    const std::uint8_t *bytes = nullptr;
+    std::uint64_t byteSize = 0;
+    const TraceCheckpoint *checkpoints = nullptr;
+    std::uint64_t numCheckpoints = 0;
+    std::uint64_t count = 0; ///< Records in the stream.
+};
+
+/** An owned packed stream (the arena cache's resident representation). */
+struct PackedTrace
+{
+    std::vector<std::uint8_t> bytes;
+    std::vector<TraceCheckpoint> checkpoints;
+    std::uint64_t count = 0;
+
+    PackedTraceView view() const
+    {
+        return PackedTraceView{bytes.data(), bytes.size(),
+                               checkpoints.data(), checkpoints.size(),
+                               count};
+    }
+
+    /** Resident footprint (payload + checkpoint table). */
+    std::uint64_t memoryBytes() const
+    {
+        return bytes.size() +
+               checkpoints.size() * sizeof(TraceCheckpoint);
+    }
+};
+
+/** Streaming encoder: append records, then take() the packed trace. */
+class PackedTraceEncoder
+{
+  public:
+    PackedTraceEncoder() = default;
+
+    /** Append one record (order defines the stream). */
+    void append(const Access &access);
+
+    /** Append a batch. */
+    void append(const Access *buf, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            append(buf[i]);
+    }
+
+    std::uint64_t count() const { return trace_.count; }
+
+    /** Finish encoding and move the packed trace out. The encoder is
+     *  left empty and reusable. */
+    PackedTrace take();
+
+  private:
+    PackedTrace trace_;
+    InstAddr prevPc_ = 0;
+    Addr prevVaddr_ = 0;
+};
+
+/**
+ * Sequential decoder over a packed view. Wraps around at the end of
+ * the stream (AccessSource semantics); skip() is checkpoint-
+ * accelerated. The view must describe a validated stream (see
+ * validatePackedTrace) with count > 0.
+ */
+class PackedTraceCursor
+{
+  public:
+    explicit PackedTraceCursor(const PackedTraceView &view);
+
+    /** Decode the next @p n records (wrapping) into @p buf. */
+    void refill(Access *buf, std::size_t n);
+
+    /** Advance @p n records without materializing them. */
+    void skip(std::uint64_t n);
+
+    /** Restart from record 0. */
+    void rewind();
+
+    /** Index of the next record to decode. */
+    std::uint64_t position() const { return record_; }
+
+  private:
+    void decodeOne(Access &out);
+    void skipOne();
+
+    PackedTraceView view_;
+    const std::uint8_t *cursor_ = nullptr;
+    std::uint64_t record_ = 0;
+    InstAddr pc_ = 0;
+    Addr vaddr_ = 0;
+};
+
+/**
+ * Structural validation of an untrusted packed stream (a trace file's
+ * payload): walks every record checking that varints terminate inside
+ * the payload, reserved flag bits are zero, the payload length is
+ * fully consumed, and the checkpoint table matches the walk. Returns
+ * true when valid; otherwise fills @p error with an offset-precise
+ * message ("record 51 at offset 417: ...").
+ */
+bool validatePackedTrace(const PackedTraceView &view, std::string *error);
+
+/** Pack a whole record array (testing/tooling convenience). */
+PackedTrace packAccesses(const Access *buf, std::size_t n);
+
+} // namespace cameo
+
+#endif // CAMEO_TRACE_PACKED_TRACE_HH

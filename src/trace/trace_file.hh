@@ -1,18 +1,35 @@
 /**
  * @file
- * Binary trace file format: record synthetic (or external) access
+ * Binary trace file formats: record synthetic (or external) access
  * streams to disk and replay them as an AccessSource.
  *
- * Format (little-endian, fixed-width):
- *   header:  magic "CAMEOTRC" (8B), version u32, record count u64,
- *            reserved u32
- *   records: pc u64, vaddr u64, gapInstructions u32,
- *            flags u8 (bit0 = write, bit1 = dependsOnPrev),
- *            pad u8[3]
+ * Two on-disk formats share the "CAMEOTRC" magic:
  *
- * The format is deliberately dumb — 32 bytes per record, no
- * compression — so external tools (Pin/DynamoRIO frontends, gem5
- * probes) can emit it with a dozen lines of code.
+ * Version 1 (raw, fixed-width little-endian):
+ *   header:  magic (8B), version u32, record count u64, reserved u32
+ *   records: pc u64, vaddr u64, gapInstructions u32,
+ *            flags u8 (bit0 = write, bit1 = dependsOnPrev), pad u8[3]
+ *   Deliberately dumb — 24 bytes per record, no compression — so
+ *   external tools (Pin/DynamoRIO frontends, gem5 probes) can emit it
+ *   with a dozen lines of code.
+ *
+ * Version 2 (packed, see packed_trace.hh):
+ *   header:  magic (8B), version u32, record count u64, payload bytes
+ *            u64, checkpoint count u32, checkpoint interval u32, meta
+ *            length u32, reserved u32
+ *   body:    meta string, checkpoint table (3 x u64 each), packed
+ *            payload
+ *   ~5-9 bytes per record; the trace-arena cache persists arenas in
+ *   this format with its cache key as the meta string.
+ *
+ * TraceReader replays either version and supports an mmap-backed mode:
+ *   - v1 + mmap: records decode straight out of the mapping (no load
+ *     pass, no resident copy);
+ *   - v2 + mmap: the packed payload is replayed zero-copy through a
+ *     PackedTraceCursor (only the small checkpoint table is copied,
+ *     sidestepping alignment hazards).
+ * Malformed files of either version fail with a message naming the
+ * file, the byte offset, and what was expected versus found.
  */
 
 #ifndef CAMEO_TRACE_TRACE_FILE_HH
@@ -20,32 +37,56 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "trace/access.hh"
 #include "trace/access_source.hh"
+#include "trace/packed_trace.hh"
 
 namespace cameo
 {
+
+class MmapFile;
 
 /** Magic bytes identifying a CAMEO trace file. */
 inline constexpr char kTraceMagic[8] = {'C', 'A', 'M', 'E',
                                         'O', 'T', 'R', 'C'};
 
-/** Current trace format version. */
-inline constexpr std::uint32_t kTraceVersion = 1;
+/** On-disk layout (doubles as the version number). */
+enum class TraceFormat : std::uint32_t
+{
+    Raw = 1,    ///< Fixed 24-byte records.
+    Packed = 2, ///< Delta/varint records + checkpoint table.
+};
+
+/** Newest version this build writes. */
+inline constexpr std::uint32_t kTraceVersion = 2;
+
+/** How TraceReader backs its records. */
+enum class TraceMode
+{
+    Auto, ///< Mmap when the platform supports it, else Load.
+    Load, ///< Read the whole file into memory.
+    Mmap, ///< Zero-copy mapping; throws where unsupported.
+};
 
 /** Streams Access records into a trace file. */
 class TraceWriter
 {
   public:
     /**
-     * Open @p path for writing; truncates. The header's record count
-     * is patched on close(), so a writer must be closed (or
-     * destroyed) for the file to be valid.
+     * Open @p path for writing; truncates. Raw traces stream records
+     * and patch the header's count on close(); Packed traces buffer
+     * in a PackedTraceEncoder and write everything on close(). Either
+     * way a writer must be closed (or destroyed) for the file to be
+     * valid. @p meta is stored in the file (Packed only).
      */
-    explicit TraceWriter(const std::string &path);
+    explicit TraceWriter(const std::string &path,
+                         TraceFormat format = TraceFormat::Raw,
+                         std::string meta = "");
 
     ~TraceWriter();
 
@@ -58,51 +99,115 @@ class TraceWriter
     /** Finalize the header and close the file. Idempotent. */
     void close();
 
-    /** True if the file opened successfully. */
+    /** True if the file opened (and, after close(), wrote) cleanly. */
     bool good() const { return good_; }
 
     std::uint64_t recordsWritten() const { return count_; }
 
   private:
     std::ofstream out_;
+    TraceFormat format_;
+    std::string meta_;
+    PackedTraceEncoder encoder_;
     std::uint64_t count_ = 0;
     bool good_ = false;
     bool closed_ = false;
 };
 
 /**
- * Replays a trace file as an AccessSource. The whole trace is loaded
- * into memory (32B/record; a 10M-record trace is 320MB — fine for the
- * slice lengths this simulator runs) and wraps around when exhausted.
+ * Replays a trace file of either format as an AccessSource. Wraps
+ * around when exhausted; skip() fast-forwards without materializing
+ * records (O(1) for raw traces, checkpoint-bounded for packed ones).
  */
 class TraceReader : public AccessSource
 {
   public:
     /**
-     * Load @p path. Throws std::runtime_error on malformed files
-     * (bad magic, wrong version, truncated records).
+     * Open @p path. Throws std::runtime_error on malformed files with
+     * a message naming the file, offset, and expected-vs-found detail.
      */
-    explicit TraceReader(const std::string &path);
+    explicit TraceReader(const std::string &path,
+                         TraceMode mode = TraceMode::Auto);
+
+    ~TraceReader();
 
     /** Copy the next @p n records (wrapping) into @p buf. */
     void refill(Access *buf, std::size_t n) override;
 
-    std::uint64_t size() const { return records_.size(); }
+    /** Advance @p n records without delivering them. */
+    void skip(std::uint64_t n) override;
+
+    std::uint64_t size() const { return count_; }
 
     /** Restart from the first record. */
-    void rewind() { cursor_ = 0; }
+    void rewind();
+
+    TraceFormat format() const { return format_; }
+
+    /** True when records are served from an mmap'd file. */
+    bool zeroCopy() const { return map_ != nullptr; }
+
+    /** Meta string stored in the file (Packed format; else empty). */
+    const std::string &meta() const { return meta_; }
 
   private:
+    TraceFormat format_ = TraceFormat::Raw;
+    std::uint64_t count_ = 0;
+    std::string meta_;
+    std::shared_ptr<MmapFile> map_;
+
+    // Raw traces: either a loaded record vector or a pointer into the
+    // mapping, plus a plain record cursor.
     std::vector<Access> records_;
-    std::size_t cursor_ = 0;
+    const std::uint8_t *rawBase_ = nullptr;
+    std::uint64_t cursor_ = 0;
+
+    // Packed traces: owned payload (Load) or mapped payload (Mmap,
+    // with the checkpoint table copied out), plus a decode cursor.
+    PackedTrace packed_;
+    std::vector<TraceCheckpoint> checkpoints_;
+    PackedTraceView view_;
+    std::optional<PackedTraceCursor> packedCursor_;
 };
+
+/**
+ * A version-2 packed trace pulled from disk: storage (owned or
+ * mapped), a view over the payload, and the embedded meta string.
+ * Used by the trace-arena cache, which wants graceful fallback on
+ * corrupt files instead of TraceReader's exceptions.
+ */
+struct PackedTraceFile
+{
+    PackedTrace owned;
+    std::shared_ptr<MmapFile> map;
+    std::vector<TraceCheckpoint> checkpoints;
+    PackedTraceView view;
+    std::string meta;
+};
+
+/**
+ * Write @p view (with @p meta) to @p path as a version-2 trace file.
+ * Returns false and fills @p error on I/O failure.
+ */
+bool writePackedTraceFile(const std::string &path,
+                          const PackedTraceView &view,
+                          const std::string &meta, std::string *error);
+
+/**
+ * Load a version-2 trace file into @p out (mmap-backed under
+ * TraceMode::Auto where supported). Returns false and fills @p error
+ * on any failure, including validation of the packed payload.
+ */
+bool loadPackedTraceFile(const std::string &path, TraceMode mode,
+                         PackedTraceFile *out, std::string *error);
 
 /**
  * Record @p count accesses from @p source into @p path.
  * @return Records written, or 0 on I/O failure.
  */
 std::uint64_t recordTrace(AccessSource &source, const std::string &path,
-                          std::uint64_t count);
+                          std::uint64_t count,
+                          TraceFormat format = TraceFormat::Raw);
 
 } // namespace cameo
 

@@ -1,0 +1,67 @@
+#include "util/mmap_file.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CAMEO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <cerrno>
+#include <cstring>
+#else
+#define CAMEO_HAVE_MMAP 0
+#endif
+
+namespace cameo
+{
+
+MmapFile::MmapFile(const std::string &path)
+{
+#if CAMEO_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error_ = "cannot open " + path + ": " + std::strerror(errno);
+        return;
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        error_ = "cannot stat " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return;
+    }
+    if (st.st_size == 0) {
+        error_ = path + " is empty";
+        ::close(fd);
+        return;
+    }
+    const auto length = static_cast<std::size_t>(st.st_size);
+    void *map = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping pins the file contents; the descriptor is not needed
+    // past this point either way.
+    ::close(fd);
+    if (map == MAP_FAILED) {
+        error_ = "cannot mmap " + path + ": " + std::strerror(errno);
+        return;
+    }
+    data_ = static_cast<const std::uint8_t *>(map);
+    size_ = length;
+#else
+    error_ = "mmap is not supported on this platform (" + path + ")";
+#endif
+}
+
+MmapFile::~MmapFile()
+{
+#if CAMEO_HAVE_MMAP
+    if (data_ != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(data_), size_);
+#endif
+}
+
+bool
+MmapFile::supported()
+{
+    return CAMEO_HAVE_MMAP != 0;
+}
+
+} // namespace cameo

@@ -12,6 +12,7 @@
 
 #include "system/system.hh"
 #include "trace/generator.hh"
+#include "trace/packed_trace.hh"
 #include "trace/trace_file.hh"
 
 namespace cameo
@@ -108,6 +109,18 @@ TEST(TraceFileTest, RecordTraceHelper)
     EXPECT_EQ(reader.size(), 1234u);
 }
 
+/** The message a TraceReader construction fails with. */
+std::string
+openError(const std::string &path, TraceMode mode = TraceMode::Auto)
+{
+    try {
+        TraceReader reader(path, mode);
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+    return "";
+}
+
 TEST(TraceFileTest, RejectsGarbage)
 {
     TempFile file("cameo_test_garbage.trc");
@@ -115,7 +128,13 @@ TEST(TraceFileTest, RejectsGarbage)
         std::ofstream out(file.path(), std::ios::binary);
         out << "this is not a trace file at all, not even close";
     }
-    EXPECT_THROW(TraceReader reader(file.path()), std::runtime_error);
+    // The message names the file, the offset, and both the expected
+    // and the found magic.
+    const std::string msg = openError(file.path());
+    EXPECT_NE(msg.find(file.path()), std::string::npos) << msg;
+    EXPECT_NE(msg.find("offset 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("CAMEOTRC"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("this is "), std::string::npos) << msg;
 }
 
 TEST(TraceFileTest, RejectsMissingFile)
@@ -133,10 +152,248 @@ TEST(TraceFileTest, RejectsTruncation)
         for (int i = 0; i < 100; ++i)
             writer.append(a);
     }
-    // Chop the last record in half.
+    // Chop the last record in half. The error pinpoints the record.
     std::filesystem::resize_file(
         file.path(), std::filesystem::file_size(file.path()) - 10);
-    EXPECT_THROW(TraceReader reader(file.path()), std::runtime_error);
+    const std::string msg = openError(file.path());
+    EXPECT_NE(msg.find(file.path()), std::string::npos) << msg;
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("record 99 of 100"), std::string::npos) << msg;
+}
+
+TEST(TraceFileTest, RejectsTrailingBytes)
+{
+    TempFile file("cameo_test_trailing.trc");
+    {
+        TraceWriter writer(file.path());
+        Access a;
+        for (int i = 0; i < 10; ++i)
+            writer.append(a);
+    }
+    std::ofstream out(file.path(),
+                      std::ios::binary | std::ios::app);
+    out << "junk";
+    out.close();
+    const std::string msg = openError(file.path());
+    EXPECT_NE(msg.find("trailing bytes"), std::string::npos) << msg;
+}
+
+TEST(TraceFileTest, RejectsUnsupportedVersion)
+{
+    TempFile file("cameo_test_version.trc");
+    {
+        TraceWriter writer(file.path());
+        Access a;
+        writer.append(a);
+    }
+    // Stamp a bogus version over the header.
+    std::fstream patch(file.path(), std::ios::binary | std::ios::in |
+                                        std::ios::out);
+    patch.seekp(8);
+    const std::uint32_t bogus = 99;
+    patch.write(reinterpret_cast<const char *>(&bogus), sizeof(bogus));
+    patch.close();
+    const std::string msg = openError(file.path());
+    EXPECT_NE(msg.find("version 99"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("offset 8"), std::string::npos) << msg;
+}
+
+TEST(TraceFileTest, RawMmapMatchesLoadedReplay)
+{
+    TempFile file("cameo_test_raw_mmap.trc");
+    const WorkloadProfile &wl = *findWorkload("astar");
+    SyntheticGenerator gen(wl, smallParams(), 11);
+    ASSERT_EQ(recordTrace(gen, file.path(), 3000, TraceFormat::Raw),
+              3000u);
+
+    TraceReader loaded(file.path(), TraceMode::Load);
+    EXPECT_FALSE(loaded.zeroCopy());
+    TraceReader mapped(file.path(), TraceMode::Mmap);
+    EXPECT_TRUE(mapped.zeroCopy());
+    for (int i = 0; i < 6500; ++i) { // crosses two wraps
+        const Access a = loaded.next();
+        const Access b = mapped.next();
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(a.vaddr, b.vaddr);
+        ASSERT_EQ(a.gapInstructions, b.gapInstructions);
+        ASSERT_EQ(a.isWrite, b.isWrite);
+        ASSERT_EQ(a.dependsOnPrev, b.dependsOnPrev);
+    }
+}
+
+TEST(TraceFileTest, ReaderSkipMatchesConsume)
+{
+    TempFile file("cameo_test_skip.trc");
+    const WorkloadProfile &wl = *findWorkload("gcc");
+    for (const TraceFormat format :
+         {TraceFormat::Raw, TraceFormat::Packed}) {
+        SyntheticGenerator gen(wl, smallParams(), 13);
+        ASSERT_EQ(recordTrace(gen, file.path(), 2000, format), 2000u);
+        for (const std::uint64_t n : {1ull, 999ull, 2000ull, 4321ull}) {
+            TraceReader skipped(file.path());
+            skipped.skip(n);
+            TraceReader consumed(file.path());
+            for (std::uint64_t i = 0; i < n; ++i)
+                (void)consumed.next();
+            for (int i = 0; i < 40; ++i) {
+                const Access a = skipped.next();
+                const Access b = consumed.next();
+                ASSERT_EQ(a.vaddr, b.vaddr);
+                ASSERT_EQ(a.pc, b.pc);
+            }
+        }
+    }
+}
+
+TEST(PackedTraceTest, RoundTripPreservesAdversarialRecords)
+{
+    // Extreme deltas, max gaps, alternating flags: the codec must be
+    // exact for any record sequence, not just generator-shaped ones.
+    std::vector<Access> records;
+    Access a;
+    a.pc = 0;
+    a.vaddr = ~std::uint64_t{0};
+    a.gapInstructions = ~std::uint32_t{0};
+    a.isWrite = true;
+    records.push_back(a);
+    a.pc = ~std::uint64_t{0};
+    a.vaddr = 0;
+    a.gapInstructions = 0;
+    a.isWrite = false;
+    a.dependsOnPrev = true;
+    records.push_back(a);
+    for (int i = 0; i < 3000; ++i) { // > 2 checkpoint intervals
+        a.pc = (i % 3 == 0) ? a.pc : a.pc * 0x9e3779b97f4a7c15ULL + i;
+        a.vaddr = a.vaddr * 6364136223846793005ULL + 1442695040888963407ULL;
+        a.gapInstructions = static_cast<std::uint32_t>(a.vaddr % 7919);
+        a.isWrite = (i & 1) != 0;
+        a.dependsOnPrev = (i & 2) != 0;
+        records.push_back(a);
+    }
+
+    const PackedTrace packed = packAccesses(records.data(),
+                                            records.size());
+    EXPECT_EQ(packed.count, records.size());
+    std::string error;
+    EXPECT_TRUE(validatePackedTrace(packed.view(), &error)) << error;
+
+    PackedTraceCursor cursor(packed.view());
+    std::vector<Access> out(records.size());
+    cursor.refill(out.data(), out.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        ASSERT_EQ(out[i].pc, records[i].pc) << i;
+        ASSERT_EQ(out[i].vaddr, records[i].vaddr) << i;
+        ASSERT_EQ(out[i].gapInstructions, records[i].gapInstructions);
+        ASSERT_EQ(out[i].isWrite, records[i].isWrite);
+        ASSERT_EQ(out[i].dependsOnPrev, records[i].dependsOnPrev);
+    }
+}
+
+TEST(PackedTraceTest, FileRoundTripLoadAndMmap)
+{
+    TempFile file("cameo_test_packed.trc");
+    const WorkloadProfile &wl = *findWorkload("mcf");
+
+    std::vector<Access> expected;
+    {
+        TraceWriter writer(file.path(), TraceFormat::Packed,
+                           "unit-test-meta");
+        ASSERT_TRUE(writer.good());
+        SyntheticGenerator src(wl, smallParams(), 42);
+        for (int i = 0; i < 5000; ++i) {
+            const Access a = src.next();
+            expected.push_back(a);
+            writer.append(a);
+        }
+        writer.close();
+        ASSERT_TRUE(writer.good());
+    }
+    // Packed wins substantially over the raw 24 bytes/record.
+    const auto file_bytes = std::filesystem::file_size(file.path());
+    EXPECT_LT(file_bytes, 5000u * 12u);
+
+    for (const TraceMode mode : {TraceMode::Load, TraceMode::Mmap}) {
+        TraceReader reader(file.path(), mode);
+        ASSERT_EQ(reader.size(), 5000u);
+        EXPECT_EQ(reader.format(), TraceFormat::Packed);
+        EXPECT_EQ(reader.zeroCopy(), mode == TraceMode::Mmap);
+        EXPECT_EQ(reader.meta(), "unit-test-meta");
+        for (const Access &want : expected) {
+            const Access got = reader.next();
+            ASSERT_EQ(got.pc, want.pc);
+            ASSERT_EQ(got.vaddr, want.vaddr);
+            ASSERT_EQ(got.gapInstructions, want.gapInstructions);
+            ASSERT_EQ(got.isWrite, want.isWrite);
+            ASSERT_EQ(got.dependsOnPrev, want.dependsOnPrev);
+        }
+        // Wraps back to the first record.
+        EXPECT_EQ(reader.next().vaddr, expected[0].vaddr);
+    }
+}
+
+TEST(PackedTraceTest, RejectsCorruptPackedPayload)
+{
+    TempFile file("cameo_test_packed_corrupt.trc");
+    const WorkloadProfile &wl = *findWorkload("milc");
+    SyntheticGenerator gen(wl, smallParams(), 3);
+    ASSERT_EQ(recordTrace(gen, file.path(), 2000, TraceFormat::Packed),
+              2000u);
+
+    // Flip the first payload byte (a flags byte) to set reserved bits.
+    {
+        std::fstream patch(file.path(), std::ios::binary |
+                                            std::ios::in |
+                                            std::ios::out);
+        // Header is 44 bytes, meta empty; checkpoints precede payload.
+        patch.seekg(28);
+        std::uint32_t checkpoints = 0;
+        patch.read(reinterpret_cast<char *>(&checkpoints),
+                   sizeof(checkpoints));
+        patch.seekp(44 + checkpoints * 24);
+        const char bad = '\xff';
+        patch.write(&bad, 1);
+    }
+    const std::string msg = openError(file.path());
+    EXPECT_NE(msg.find(file.path()), std::string::npos) << msg;
+    EXPECT_NE(msg.find("record 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("reserved flag bits"), std::string::npos) << msg;
+
+    // Truncation is caught by the header's body accounting.
+    std::filesystem::resize_file(
+        file.path(), std::filesystem::file_size(file.path()) - 5);
+    const std::string trunc = openError(file.path());
+    EXPECT_NE(trunc.find("body size mismatch"), std::string::npos)
+        << trunc;
+}
+
+TEST(PackedTraceTest, HelperRoundTripPreservesMeta)
+{
+    TempFile file("cameo_test_packed_helper.trc");
+    const WorkloadProfile &wl = *findWorkload("lbm");
+    SyntheticGenerator gen(wl, smallParams(), 17);
+    std::vector<Access> records(1500);
+    gen.refill(records.data(), records.size());
+    const PackedTrace packed = packAccesses(records.data(),
+                                            records.size());
+
+    std::string error;
+    ASSERT_TRUE(writePackedTraceFile(file.path(), packed.view(),
+                                     "the-cache-key", &error))
+        << error;
+    PackedTraceFile loaded;
+    ASSERT_TRUE(loadPackedTraceFile(file.path(), TraceMode::Auto,
+                                    &loaded, &error))
+        << error;
+    EXPECT_EQ(loaded.meta, "the-cache-key");
+    EXPECT_EQ(loaded.view.count, records.size());
+
+    PackedTraceCursor cursor(loaded.view);
+    std::vector<Access> out(records.size());
+    cursor.refill(out.data(), out.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        ASSERT_EQ(out[i].vaddr, records[i].vaddr) << i;
+        ASSERT_EQ(out[i].pc, records[i].pc) << i;
+    }
 }
 
 TEST(TraceReplayTest, ReplayedSystemMatchesSyntheticRun)

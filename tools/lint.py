@@ -26,6 +26,12 @@ enforces:
      every command (DESIGN.md §9). ``access`` remains only as the
      blocking shim inside ``src/dram`` and for tests. Exceptions go in
      ``DRAM_ACCESS_ALLOWLIST``.
+  7. No direct ``SyntheticGenerator`` use in ``src/exp`` and ``bench``:
+     sweep and bench code builds access streams through
+     ``TraceArenaCache::instance().source()`` (or a ``SystemConfig``
+     with ``useTraceArena``) so streams are recorded once and replayed
+     everywhere (DESIGN.md §10). Benches that deliberately measure the
+     raw generator go in ``GENERATOR_ALLOWLIST``.
 
 Usage: ``python3 tools/lint.py [repo-root]``. Exits non-zero and prints
 ``file:line: message`` for every violation.
@@ -96,6 +102,20 @@ DRAM_ACCESS_RE = re.compile(
     r"(?:(?:stacked_|offchip_)\s*\.|stackedModule\(\)\s*->"
     r"|offchipModule\(\)\s*\.)\s*access\s*\("
 )
+
+
+# Layers that must obtain access streams from the trace-arena cache
+# (record once, replay everywhere) instead of constructing generators.
+GENERATOR_BAN_DIRS = ("src/exp", "bench")
+
+# Files allowed to construct SyntheticGenerator directly: benches whose
+# whole point is measuring the raw generator against arena replay.
+GENERATOR_ALLOWLIST = {
+    "bench/micro_components.cc",
+    "bench/perf_arena.cc",
+}
+
+GENERATOR_RE = re.compile(r"\bSyntheticGenerator\b")
 
 
 def strip_comments_and_strings(code: str) -> str:
@@ -240,6 +260,23 @@ def check_dram_pipeline(rel: Path, text: str, problems: list[str]) -> None:
             )
 
 
+def check_generator_use(rel: Path, text: str, problems: list[str]) -> None:
+    posix = rel.as_posix()
+    if not posix.startswith(tuple(d + "/" for d in GENERATOR_BAN_DIRS)):
+        return
+    if posix in GENERATOR_ALLOWLIST:
+        return
+    stripped = strip_comments_and_strings(text)
+    for lineno, line in enumerate(stripped.splitlines(), 1):
+        if GENERATOR_RE.search(line):
+            problems.append(
+                f"{rel}:{lineno}: direct SyntheticGenerator use in "
+                f"sweep/bench code; get streams from "
+                f"TraceArenaCache::instance().source() (or add to "
+                f"GENERATOR_ALLOWLIST)"
+            )
+
+
 def check_hygiene(rel: Path, text: str, problems: list[str]) -> None:
     for lineno, line in enumerate(text.splitlines(), 1):
         if "\t" in line:
@@ -276,6 +313,7 @@ def main(argv: list[str]) -> int:
         check_nondeterminism(rel, text, problems)
         check_hot_path_containers(rel, text, problems)
         check_dram_pipeline(rel, text, problems)
+        check_generator_use(rel, text, problems)
         check_hygiene(rel, text, problems)
 
     for problem in problems:
