@@ -26,7 +26,7 @@
 
 #include "exp/sweep.hh"
 #include "system/config.hh"
-#include "system/experiment.hh"
+#include "exp/experiment.hh"
 #include "trace/workloads.hh"
 #include "util/env.hh"
 

@@ -15,7 +15,7 @@
 
 #include <iostream>
 
-#include "bench_common.hh"
+#include "util/types.hh"
 #include "core/lead_layout.hh"
 #include "dram/timings.hh"
 #include "stats/table.hh"
@@ -24,7 +24,6 @@ int
 main()
 {
     using namespace cameo;
-    using namespace cameo::bench;
 
     const DramTimings stacked = stackedTimings();
     const DramTimings offchip = offchipTimings();

@@ -14,7 +14,7 @@
 #include <string>
 
 #include "stats/table.hh"
-#include "system/experiment.hh"
+#include "exp/experiment.hh"
 #include "system/system.hh"
 #include "trace/workloads.hh"
 #include "util/math.hh"

@@ -19,6 +19,8 @@ LineLocationTable::LineLocationTable(std::uint64_t num_groups,
         for (std::uint32_t s = 0; s < group_size; ++s)
             loc_[index(g, s)] = static_cast<std::uint8_t>(s);
     }
+    CAMEO_AUDIT(verifyGroup(0),
+                "LLT identity initialization is not a permutation");
 }
 
 std::uint32_t

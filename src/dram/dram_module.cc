@@ -200,6 +200,8 @@ DramModule::queuedRequest(Tick now, std::uint64_t device_line,
         writeBytes_.inc(burst_bytes);
         writeQueueDepth_.sample(qc.writeQueue.size());
         qc.writeQueue.push_back(QueuedWrite{device_line, burst_bytes});
+        CAMEO_AUDIT(qc.writeQueue.size() <= queueCfg_.drainHighWatermark,
+                    "write queue grew past the drain high watermark");
         if (qc.writeQueue.size() >= queueCfg_.drainHighWatermark) {
             // High watermark: the drain burst blocks the channel, and
             // the triggering write is accepted once space is free.
@@ -212,6 +214,9 @@ DramModule::queuedRequest(Tick now, std::uint64_t device_line,
     // Retire in-service reads that completed before this arrival.
     while (!qc.inServiceReads.empty() && qc.inServiceReads.front() <= now)
         qc.inServiceReads.pop_front();
+    CAMEO_AUDIT(qc.inServiceReads.empty() ||
+                    qc.inServiceReads.front() > now,
+                "completed in-service reads were not fully retired");
     readQueueDepth_.sample(qc.inServiceReads.size());
 
     Tick earliest = now;
@@ -221,6 +226,9 @@ DramModule::queuedRequest(Tick now, std::uint64_t device_line,
         queueFullStalls_.inc();
         earliest = qc.inServiceReads.front();
         qc.inServiceReads.pop_front();
+        CAMEO_AUDIT(qc.inServiceReads.size() < queueCfg_.readWindow,
+                    "in-service window still full after evicting the "
+                    "oldest read");
     }
 
     // Opportunistic drain: an idle bus ahead of this read lets the
@@ -235,7 +243,9 @@ DramModule::queuedRequest(Tick now, std::uint64_t device_line,
     reads_.inc();
     readBytes_.inc(burst_bytes);
     readLatency_.sample(done - now);
-    assert(qc.inServiceReads.empty() || done >= qc.inServiceReads.back());
+    CAMEO_AUDIT(qc.inServiceReads.empty() ||
+                    done >= qc.inServiceReads.back(),
+                "in-service read completions are out of order");
     qc.inServiceReads.push_back(done);
     return done;
 }
@@ -260,6 +270,8 @@ DramModule::drainWrites(Tick now, std::uint32_t chan_idx,
             }
         }
         const QueuedWrite write = qc.writeQueue[pick];
+        CAMEO_AUDIT(pick < qc.writeQueue.size(),
+                    "FR-FCFS picked a write outside the queue");
         qc.writeQueue.erase(qc.writeQueue.begin() +
                             static_cast<std::ptrdiff_t>(pick));
         const DramCoord coord = map_.decode(write.line);
@@ -335,7 +347,10 @@ DramModule::reset()
     refreshStalls_.reset();
     readLatency_.reset();
     for (QueuedChannel &qc : queued_) {
+        // An emptied queue has no protocol invariant left to check.
+        // cameo-analyze: allow(audit-coverage): reset() drops reads
         qc.inServiceReads.clear();
+        // cameo-analyze: allow(audit-coverage): reset() drops writes
         qc.writeQueue.clear();
     }
     bandwidthWindowStart_ = 0;

@@ -1,4 +1,4 @@
-#include "system/experiment.hh"
+#include "exp/experiment.hh"
 
 #include <cassert>
 #include <fstream>

@@ -6,8 +6,8 @@
  * geometric means.
  */
 
-#ifndef CAMEO_SYSTEM_EXPERIMENT_HH
-#define CAMEO_SYSTEM_EXPERIMENT_HH
+#ifndef CAMEO_EXP_EXPERIMENT_HH
+#define CAMEO_EXP_EXPERIMENT_HH
 
 #include <ostream>
 #include <span>
@@ -83,4 +83,4 @@ bool writeSpeedupCsv(std::span<const DesignPoint> points,
 
 } // namespace cameo
 
-#endif // CAMEO_SYSTEM_EXPERIMENT_HH
+#endif // CAMEO_EXP_EXPERIMENT_HH

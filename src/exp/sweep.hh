@@ -35,7 +35,7 @@
 #include <vector>
 
 #include "exp/progress.hh"
-#include "system/experiment.hh"
+#include "exp/experiment.hh"
 
 namespace cameo
 {

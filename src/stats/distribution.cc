@@ -1,6 +1,7 @@
 #include "stats/distribution.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace cameo
 {
@@ -55,7 +56,17 @@ Distribution::percentile(double p) const
 {
     if (count_ == 0 || buckets_.empty())
         return 0.0;
-    p = std::clamp(p, 0.0, 1.0);
+    if (std::isnan(p))
+        return 0.0;
+    // Out-of-range p clamps to the exact observed extremes, which also
+    // answers p == 0 and p == 1 without interpolation error (and keeps
+    // all-overflow histograms honest for small p).
+    if (p <= 0.0)
+        return static_cast<double>(min_);
+    if (p >= 1.0)
+        return static_cast<double>(max_);
+    if (min_ == max_)
+        return static_cast<double>(min_);
     const double target = p * static_cast<double>(count_);
     const auto clamped = [this](double v) {
         return std::clamp(v, static_cast<double>(min_),

@@ -43,11 +43,12 @@ class Distribution
     double mean() const;
 
     /**
-     * Estimate the @p p quantile (0 <= p <= 1) from the histogram by
-     * linear interpolation inside the bucket holding the target rank,
-     * clamped to the exact observed [min, max]. Samples in the
-     * overflow bucket resolve to max. Returns 0 when the distribution
-     * has no samples or was built without a histogram.
+     * Estimate the @p p quantile from the histogram by linear
+     * interpolation inside the bucket holding the target rank, clamped
+     * to the exact observed [min, max]. Samples in the overflow bucket
+     * resolve to max. Edge cases: p <= 0 returns the observed min,
+     * p >= 1 the observed max (out-of-range p clamps to those); NaN p,
+     * an empty distribution, or one built without a histogram return 0.
      */
     double percentile(double p) const;
 

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Fixture: a clean cache-band header.
+ */
+
+#ifndef CAMEO_CACHE_LINES_HH
+#define CAMEO_CACHE_LINES_HH
+
+inline int
+lineCount()
+{
+    return 64;
+}
+
+#endif // CAMEO_CACHE_LINES_HH

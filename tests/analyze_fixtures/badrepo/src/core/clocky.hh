@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fixture: wall-clock use outside the exempt stopwatch wrapper.
+ */
+
+#ifndef CAMEO_CORE_CLOCKY_HH
+#define CAMEO_CORE_CLOCKY_HH
+
+#include <chrono>
+
+inline long
+nowNanos()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// cameo-analyze: allow(conventions)
+
+#endif // CAMEO_CORE_CLOCKY_HH

@@ -1,0 +1,13 @@
+#ifndef CAMEO_CORE_WRONG_HH
+#define CAMEO_CORE_WRONG_HH
+
+#include "exp/top.hh"
+#include "util/base.hh"
+
+inline int
+engineTick()
+{
+	return topDispatch() + 1; 
+}
+
+#endif // CAMEO_CORE_WRONG_HH

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Fixture: LLT-style permutation mutation with no audit in sight.
+ */
+
+void
+swapSlots(unsigned char *loc_, int a, int b)
+{
+    const unsigned char tmp = loc_[a];
+    loc_[a] = loc_[b];
+    loc_[b] = tmp;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Fixture: transitively entropy-tainted code, a stat lookup that
+ * matches no registration, and one valid hygiene suppression.
+ */
+
+#include "core/clocky.hh"
+#include "core/missing.hh"
+
+void
+registerStats(Registry &reg)
+{
+    swaps_("cameo.swaps", "total line swaps");
+    reg.findCounter("no.suchStat");
+    const long t = nowNanos();  // cameo-analyze: allow(conventions/hygiene): fixture keeps this trailing space  
+    (void)t;
+}

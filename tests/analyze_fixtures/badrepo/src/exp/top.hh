@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fixture: top-layer header that closes an include cycle with core and
+ * constructs a SyntheticGenerator where sweep code must not.
+ */
+
+#ifndef CAMEO_EXP_TOP_HH
+#define CAMEO_EXP_TOP_HH
+
+#include "core/engine.hh"
+
+inline int
+topDispatch()
+{
+    SyntheticGenerator gen;
+    return engineTick() + gen.next();
+}
+
+#endif // CAMEO_EXP_TOP_HH

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Fixture: lives in a directory the layer manifest does not know,
+ * and carries a suppression that matches no finding.
+ */
+
+#ifndef CAMEO_STRAY_THING_HH
+#define CAMEO_STRAY_THING_HH
+
+// cameo-analyze: allow(layering/cycle): fixture: matches nothing here
+
+inline int
+strayThing()
+{
+    return 3;
+}
+
+#endif // CAMEO_STRAY_THING_HH

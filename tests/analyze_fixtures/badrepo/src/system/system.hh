@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Fixture: the RunResult schema the golden keys are checked against.
+ */
+
+#ifndef CAMEO_SYSTEM_SYSTEM_HH
+#define CAMEO_SYSTEM_SYSTEM_HH
+
+#include <cstdint>
+
+struct RunResult
+{
+    double ipc = 0.0;
+    std::uint64_t swaps = 0;
+};
+
+#endif // CAMEO_SYSTEM_SYSTEM_HH

@@ -1,0 +1,6 @@
+/**
+ * @file
+ * Fixture: the workload-name registry golden run keys must match.
+ */
+
+const char *const kWorkloads[] = {"mcf", "milc"};

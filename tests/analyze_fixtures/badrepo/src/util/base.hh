@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Fixture: a clean utility header nobody actually uses.
+ */
+
+#ifndef CAMEO_UTIL_BASE_HH
+#define CAMEO_UTIL_BASE_HH
+
+inline int
+baseValue()
+{
+    return 1;
+}
+
+#endif // CAMEO_UTIL_BASE_HH

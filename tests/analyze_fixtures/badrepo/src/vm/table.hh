@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Fixture: hot-path page table backed by a std hash container, with a
+ * sideways include into a sibling band.
+ */
+
+#ifndef CAMEO_VM_TABLE_HH
+#define CAMEO_VM_TABLE_HH
+
+#include <unordered_map>
+
+#include "cache/lines.hh"
+
+inline int
+tableSize()
+{
+    return lineCount() * 2;
+}
+
+#endif // CAMEO_VM_TABLE_HH

@@ -1,0 +1,6 @@
+/**
+ * @file
+ * Fixture: org labels for golden run keys.
+ */
+
+inline const char *const kGoldenOrgs[] = {"Baseline", "CAMEO"};

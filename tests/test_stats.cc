@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "stats/counter.hh"
@@ -115,6 +116,63 @@ TEST(DistributionTest, PercentileWithoutHistogramIsZero)
 
     Distribution empty("d", "desc", 10, 4);
     EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+}
+
+TEST(DistributionTest, PercentileSingleSampleIsThatSample)
+{
+    Distribution d("d", "desc", 10, 4);
+    d.sample(17);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 17.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 17.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 17.0);
+}
+
+TEST(DistributionTest, PercentileIdenticalSamplesNeedNoInterpolation)
+{
+    Distribution d("d", "desc", 100, 4); // all land in one wide bucket
+    for (int i = 0; i < 8; ++i)
+        d.sample(250);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 250.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.95), 250.0);
+}
+
+TEST(DistributionTest, PercentileOutOfRangePClampsToExtremes)
+{
+    Distribution d("d", "desc", 10, 8);
+    d.sample(12);
+    d.sample(34);
+    d.sample(56);
+    EXPECT_DOUBLE_EQ(d.percentile(-0.5), 12.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.5), 56.0);
+    EXPECT_DOUBLE_EQ(d.percentile(-1e300), 12.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1e300), 56.0);
+}
+
+TEST(DistributionTest, PercentileNanPIsZero)
+{
+    Distribution d("d", "desc", 10, 8);
+    d.sample(12);
+    d.sample(34);
+    EXPECT_DOUBLE_EQ(d.percentile(std::nan("")), 0.0);
+}
+
+TEST(DistributionTest, PercentileEmptyIsZeroForAnyP)
+{
+    Distribution d("d", "desc", 10, 8);
+    EXPECT_DOUBLE_EQ(d.percentile(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(2.0), 0.0);
+}
+
+TEST(DistributionTest, PercentileAllOverflowStillHonorsEndpoints)
+{
+    Distribution d("d", "desc", 10, 2); // covers [0, 20)
+    d.sample(100);
+    d.sample(300);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 300.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 300.0);
 }
 
 TEST(DistributionTest, ResetClearsEverything)

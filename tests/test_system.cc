@@ -12,7 +12,7 @@
 #include <sstream>
 
 #include "system/config.hh"
-#include "system/experiment.hh"
+#include "exp/experiment.hh"
 #include "system/system.hh"
 #include "trace/workloads.hh"
 

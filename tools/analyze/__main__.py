@@ -1,0 +1,16 @@
+"""Entry point for ``python3 tools/analyze`` (and ``python3 -m
+analyze`` from inside ``tools/``)."""
+
+import sys
+
+if __package__ in (None, ""):
+    # Invoked as `python3 tools/analyze`: sys.path[0] is the package
+    # directory itself, so hoist its parent and import the package.
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from analyze.cli import main  # type: ignore[no-redef]
+else:
+    from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,80 @@
+"""Fingerprint-stable baselines for incremental adoption.
+
+A finding's fingerprint hashes what it *is*, not where it currently
+sits: rule id, file path, the whitespace-collapsed text of the flagged
+line, and an occurrence index that disambiguates identical lines in the
+same file.  Adding or removing unrelated lines therefore does not
+invalidate a baseline entry; editing the flagged line (or fixing the
+finding) does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+
+from .model import Finding, Repo
+
+_WS_RE = re.compile(r"\s+")
+
+
+def _line_text(repo: Repo, finding: Finding) -> str:
+    sf = repo.by_rel.get(finding.path)
+    if sf is None or not 1 <= finding.line <= len(sf.lines):
+        return ""
+    return _WS_RE.sub(" ", sf.lines[finding.line - 1].strip())
+
+
+def fingerprints(
+    repo: Repo, findings: list[Finding]
+) -> list[tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint."""
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Finding, str]] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        text = _line_text(repo, finding)
+        key = (finding.rule, finding.path, text)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        digest = hashlib.sha256(
+            "\0".join(
+                [finding.rule, finding.path, text, str(occurrence)]
+            ).encode()
+        ).hexdigest()[:20]
+        out.append((finding, digest))
+    return out
+
+
+def load(path: Path) -> set[str]:
+    if not path.is_file():
+        return set()
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def save(path: Path, repo: Repo, findings: list[Finding]) -> None:
+    entries = [
+        {
+            "fingerprint": digest,
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+        }
+        for finding, digest in fingerprints(repo, findings)
+    ]
+    payload = {"version": 1, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split(
+    repo: Repo, findings: list[Finding], known: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, baselined)."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding, digest in fingerprints(repo, findings):
+        (old if digest in known else new).append(finding)
+    return new, old

@@ -1,0 +1,136 @@
+"""Command-line driver: run the passes, apply suppressions and the
+baseline, print ``file:line: [rule] message`` findings, optionally emit
+SARIF, and exit non-zero when anything new surfaced."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import baseline as baseline_mod
+from .model import Repo, apply_suppressions
+from .passes import ALL_PASSES, pass_names, rule_ids
+from .sarif import render as render_sarif
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="cameo-analyze",
+        description="Multi-pass whole-program static analyzer for the "
+        "CAMEO simulator.",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="repository root (default: two levels above this package)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="write findings as SARIF 2.1.0 to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=str(DEFAULT_BASELINE),
+        help="baseline file (default: tools/analyze/baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline (report every finding)",
+    )
+    parser.add_argument(
+        "--passes",
+        metavar="NAMES",
+        help="comma-separated subset of passes to run "
+        f"(default: all of {','.join(pass_names())})",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list pass names and exit",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+
+    if args.list_passes:
+        for name in pass_names():
+            print(name)
+        return 0
+
+    root = (
+        Path(args.root)
+        if args.root is not None
+        else Path(__file__).resolve().parent.parent.parent
+    )
+    if not root.is_dir():
+        print(f"cameo-analyze: no such directory: {root}",
+              file=sys.stderr)
+        return 2
+
+    selected = ALL_PASSES
+    if args.passes:
+        wanted = {p.strip() for p in args.passes.split(",") if p.strip()}
+        unknown = wanted - set(pass_names())
+        if unknown:
+            print(
+                "cameo-analyze: unknown pass(es): "
+                + ", ".join(sorted(unknown)),
+                file=sys.stderr,
+            )
+            return 2
+        selected = [p for p in ALL_PASSES if p.NAME in wanted]
+
+    repo = Repo.load(root)
+    findings = []
+    for pass_module in selected:
+        findings.extend(pass_module.run(repo))
+
+    checked_rules = [r for p in selected for r in p.RULES]
+    active, suppressed = apply_suppressions(repo, findings, checked_rules)
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        baseline_mod.save(baseline_path, repo, active)
+        print(
+            f"cameo-analyze: baseline updated with {len(active)} "
+            f"finding(s) at {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    known = (
+        set() if args.no_baseline else baseline_mod.load(baseline_path)
+    )
+    new, baselined = baseline_mod.split(repo, active, known)
+
+    if args.sarif:
+        sarif_text = render_sarif(new, baselined, suppressed, rule_ids())
+        if args.sarif == "-":
+            sys.stdout.write(sarif_text)
+        else:
+            Path(args.sarif).write_text(sarif_text, encoding="utf-8")
+
+    for finding in sorted(new, key=lambda f: f.sort_key()):
+        print(finding.render())
+
+    print(
+        f"cameo-analyze: {len(repo.files)} files, "
+        f"{len(selected)} pass(es): {len(new)} new, "
+        f"{len(baselined)} baselined, {len(suppressed)} suppressed",
+        file=sys.stderr,
+    )
+    return 1 if new else 0

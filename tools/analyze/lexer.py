@@ -1,0 +1,197 @@
+"""Comment/string-aware C++ lexer shared by every analyzer pass.
+
+Not a full C++ tokenizer — just enough structure for whole-program
+analysis: identifiers, string/char literals, numbers, punctuation, and
+preprocessor directives, each tagged with its 1-based source line.
+Comment text is skipped (suppression comments are scanned on the raw
+lines by ``model.py``), and a line-preserving comment/string-stripped
+view of the file is kept for the regex-based legacy rules.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+# Includes C++14 digit separators (1'000'000) so the apostrophe is not
+# mistaken for a char literal.
+_NUMBER_RE = re.compile(r"\.?\d(?:[\w.]|'\w|[eEpP][+-])*")
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*(?:"([^"]+)"|<([^>]+)>)')
+_DIRECTIVE_RE = re.compile(r"^\s*#\s*(\w+)(.*)$", re.S)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "string" | "char" | "number" | "punct"
+    text: str  # identifier spelling / literal contents / punctuation
+    line: int  # 1-based
+
+
+@dataclass(frozen=True)
+class Include:
+    path: str  # as written between the delimiters
+    angled: bool  # <...> (system) vs "..." (repo-local)
+    line: int  # 1-based
+
+
+@dataclass(frozen=True)
+class Directive:
+    name: str  # "include", "define", "ifndef", ...
+    rest: str  # remainder of the directive line, comment-stripped
+    line: int  # 1-based
+
+
+def strip_comments_and_strings(code: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay accurate."""
+    out: list[str] = []
+    i, n = 0, len(code)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = code[i]
+        nxt = code[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+class Lexed:
+    """One lexed translation unit."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.stripped = strip_comments_and_strings(text)
+        self.tokens: list[Token] = []
+        self.includes: list[Include] = []
+        self.directives: list[Directive] = []
+        self._lex()
+
+    def _lex(self) -> None:
+        # Directives and includes come from the stripped view so that
+        # commented-out includes are ignored; string *contents* come
+        # from the raw text (the stripped view blanks them).
+        stripped_lines = self.stripped.splitlines()
+        raw_lines = self.text.splitlines()
+        for lineno, line in enumerate(stripped_lines, 1):
+            if not line.lstrip().startswith("#"):
+                continue
+            raw = raw_lines[lineno - 1]
+            m = _INCLUDE_RE.match(raw)
+            if m:
+                quoted, angled = m.group(1), m.group(2)
+                self.includes.append(
+                    Include(quoted or angled, angled is not None, lineno)
+                )
+            d = _DIRECTIVE_RE.match(line)
+            if d:
+                self.directives.append(
+                    Directive(d.group(1), d.group(2).strip(), lineno)
+                )
+
+        # Token stream over the whole file.  Operates on the raw text
+        # with a comment-skipping scanner so literal contents survive.
+        self._lex_tokens()
+
+    def _lex_tokens(self) -> None:
+        text = self.text
+        i, n = 0, len(text)
+        line = 1
+        tokens = self.tokens
+        while i < n:
+            c = text[i]
+            if c == "\n":
+                line += 1
+                i += 1
+                continue
+            if c in " \t\r\f\v":
+                i += 1
+                continue
+            nxt = text[i + 1] if i + 1 < n else ""
+            if c == "/" and nxt == "/":
+                j = text.find("\n", i)
+                i = n if j < 0 else j
+                continue
+            if c == "/" and nxt == "*":
+                j = text.find("*/", i + 2)
+                end = n if j < 0 else j + 2
+                line += text.count("\n", i, end)
+                i = end
+                continue
+            if c == '"' or c == "'":
+                start_line = line
+                j = i + 1
+                while j < n and text[j] != c:
+                    if text[j] == "\\":
+                        j += 1
+                    elif text[j] == "\n":
+                        line += 1
+                    j += 1
+                tokens.append(
+                    Token(
+                        "string" if c == '"' else "char",
+                        text[i + 1 : j],
+                        start_line,
+                    )
+                )
+                i = j + 1
+                continue
+            m = _IDENT_RE.match(text, i)
+            if m:
+                tokens.append(Token("ident", m.group(0), line))
+                i = m.end()
+                continue
+            if c.isdigit() or (c == "." and nxt.isdigit()):
+                m = _NUMBER_RE.match(text, i)
+                if m:
+                    tokens.append(Token("number", m.group(0), line))
+                    i = m.end()
+                    continue
+            tokens.append(Token("punct", c, line))
+            i += 1
+
+    def identifiers(self) -> set[str]:
+        """Every identifier spelled anywhere in the file."""
+        return {t.text for t in self.tokens if t.kind == "ident"}
+
+    def string_literals(self) -> list[Token]:
+        return [t for t in self.tokens if t.kind == "string"]

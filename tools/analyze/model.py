@@ -1,0 +1,204 @@
+"""Repository model: source files, findings, in-file suppressions."""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import Path
+
+from .lexer import Lexed
+
+CXX_SUFFIXES = {".hh", ".cc", ".cpp", ".hpp"}
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+
+# Subtrees never analyzed as part of the repo proper.  The analyzer's
+# own test fixtures deliberately violate every pass.
+EXCLUDED_SUBTREES = ("tests/analyze_fixtures",)
+
+# `// cameo-analyze: allow(rule): justification` suppresses matching
+# findings on its own line and the line directly below.  A
+# justification is mandatory: bare allows are themselves a finding.
+SUPPRESS_RE = re.compile(
+    r"cameo-analyze:\s*allow\(([\w/,\- ]+)\)\s*(?::\s*(\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str  # "pass" or "pass/subrule"
+    path: str  # repo-relative posix path
+    line: int  # 1-based; 0 for whole-file findings
+    message: str
+
+    @property
+    def pass_name(self) -> str:
+        return self.rule.split("/", 1)[0]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)
+
+
+@dataclass
+class Suppression:
+    rules: tuple[str, ...]
+    line: int
+    justification: str
+    used: bool = False
+
+    def covers(self, rule: str) -> bool:
+        for r in self.rules:
+            if rule == r or rule.startswith(r + "/"):
+                return True
+        return False
+
+
+class SourceFile:
+    """One analyzed file: raw text, lazy lexed view, suppressions."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+
+    @cached_property
+    def lexed(self) -> Lexed:
+        return Lexed(self.text)
+
+    @cached_property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    @cached_property
+    def suppressions(self) -> list[Suppression]:
+        out: list[Suppression] = []
+        for lineno, line in enumerate(self.lines, 1):
+            m = SUPPRESS_RE.search(line)
+            if m:
+                rules = tuple(
+                    r.strip() for r in m.group(1).split(",") if r.strip()
+                )
+                out.append(Suppression(rules, lineno, m.group(2) or ""))
+        return out
+
+    def suppression_for(self, finding: Finding) -> Suppression | None:
+        for s in self.suppressions:
+            if finding.line in (s.line, s.line + 1) and s.covers(
+                finding.rule
+            ):
+                return s
+        return None
+
+
+@dataclass
+class Repo:
+    """The whole analyzed tree plus per-run shared state."""
+
+    root: Path
+    files: list[SourceFile] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, root: Path) -> "Repo":
+        root = root.resolve()
+        repo = cls(root=root)
+        for top in SOURCE_DIRS:
+            base = root / top
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix not in CXX_SUFFIXES or not path.is_file():
+                    continue
+                rel = path.relative_to(root).as_posix()
+                if rel.startswith(tuple(t + "/" for t in EXCLUDED_SUBTREES)):
+                    continue
+                repo.files.append(SourceFile(root, path))
+        return repo
+
+    @cached_property
+    def by_rel(self) -> dict[str, SourceFile]:
+        return {f.rel: f for f in self.files}
+
+    def src_files(self) -> list[SourceFile]:
+        return [f for f in self.files if f.rel.startswith("src/")]
+
+    def resolve_include(
+        self, includer: SourceFile, inc_path: str
+    ) -> SourceFile | None:
+        """Resolve a quoted include to a repo file.  The build adds
+        ``src/`` to the include path, so ``"dir/file.hh"`` means
+        ``src/dir/file.hh``; fall back to includer-relative lookup
+        (tests include ``golden_common.hh`` that way)."""
+        candidate = self.by_rel.get(f"src/{inc_path}")
+        if candidate is not None:
+            return candidate
+        sibling = (
+            Path(includer.rel).parent.joinpath(inc_path).as_posix()
+        )
+        return self.by_rel.get(sibling)
+
+    def read_json(self, rel: str):
+        """Load a repo-relative JSON file, or None if absent."""
+        path = self.root / rel
+        if not path.is_file():
+            return None
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def read_text(self, rel: str) -> str | None:
+        path = self.root / rel
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+
+def apply_suppressions(
+    repo: Repo,
+    findings: list[Finding],
+    checked_rules: list[str] | None = None,
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (active, suppressed) and flag bad allows:
+    a suppression without a justification, or one that matches nothing,
+    is itself a finding (so stale allows can't accumulate).  When only
+    a subset of passes ran, pass their rule ids as ``checked_rules`` so
+    suppressions owned by skipped passes are not reported as unused."""
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        sf = repo.by_rel.get(finding.path)
+        s = sf.suppression_for(finding) if sf is not None else None
+        if s is not None and s.justification:
+            s.used = True
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+
+    for sf in repo.files:
+        for s in sf.suppressions:
+            if not s.justification:
+                active.append(
+                    Finding(
+                        "suppression/missing-justification",
+                        sf.rel,
+                        s.line,
+                        "cameo-analyze: allow(...) needs a ': reason'",
+                    )
+                )
+            elif not s.used:
+                if checked_rules is not None and not any(
+                    s.covers(rule) for rule in checked_rules
+                ):
+                    continue
+                active.append(
+                    Finding(
+                        "suppression/unused",
+                        sf.rel,
+                        s.line,
+                        f"suppression for {','.join(s.rules)} matches "
+                        f"no finding; remove it",
+                    )
+                )
+    return active, suppressed

@@ -1,0 +1,31 @@
+"""Pass registry.  Each pass module exposes ``NAME`` and
+``run(repo) -> list[Finding]``."""
+
+from __future__ import annotations
+
+from . import (
+    audit_coverage,
+    conventions,
+    determinism,
+    layering,
+    stats_schema,
+)
+
+ALL_PASSES = [
+    layering,
+    stats_schema,
+    determinism,
+    audit_coverage,
+    conventions,
+]
+
+
+def pass_names() -> list[str]:
+    return [p.NAME for p in ALL_PASSES]
+
+
+def rule_ids() -> list[str]:
+    out: list[str] = []
+    for p in ALL_PASSES:
+        out.extend(getattr(p, "RULES", [p.NAME]))
+    return out

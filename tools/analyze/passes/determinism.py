@@ -1,0 +1,112 @@
+"""Determinism taint pass.
+
+Bit-reproducible runs are the whole point of the golden suites, so
+entropy (wall clocks, hardware randomness) is confined to two exempt
+wrappers: the seeded RNG (``src/util/rng``) and the sweep engine's
+host-side stopwatch (``src/exp/stopwatch``).  The legacy lint only
+banned *direct* use per file; this pass is strictly stronger: it walks
+the transitive include closure and flags any file that *reaches* an
+entropy header through a non-exempt chain, reporting the chain.
+
+Traversal does not descend into the exempt files — including the
+stopwatch's interface is fine, re-exporting ``<chrono>`` is not.
+
+  determinism/tainted-include  a file reaches <chrono>/<random>/<ctime>
+                               through non-exempt includes
+"""
+
+from __future__ import annotations
+
+from ..model import Finding, Repo
+
+NAME = "determinism"
+RULES = ["determinism/tainted-include"]
+
+# Files allowed to touch entropy directly; taint never propagates
+# through them (their interfaces are deterministic by contract).
+EXEMPT = {
+    "src/util/rng.hh",
+    "src/util/rng.cc",
+    "src/exp/stopwatch.hh",
+    "src/exp/stopwatch.cc",
+}
+
+# System headers that expose nondeterminism.
+ENTROPY_HEADERS = {
+    "chrono",
+    "random",
+    "ctime",
+    "time.h",
+    "sys/time.h",
+}
+
+
+def run(repo: Repo) -> list[Finding]:
+    findings: list[Finding] = []
+
+    memo: dict[str, tuple[str, ...]] = {}
+
+    def taint_chain(rel: str, visiting: frozenset[str]) -> tuple[str, ...]:
+        """Chain from this file to an entropy header, or () if clean.
+        Exempt files are clean by contract; include cycles are treated
+        as clean here (the layering pass reports them)."""
+        if rel in memo:
+            return memo[rel]
+        if rel in EXEMPT or rel in visiting:
+            return ()
+        sf = repo.by_rel.get(rel)
+        if sf is None:
+            return ()
+        chain: tuple[str, ...] = ()
+        for inc in sf.lexed.includes:
+            if inc.angled and inc.path in ENTROPY_HEADERS:
+                chain = (rel, f"<{inc.path}>")
+                break
+        if not chain:
+            for inc in sf.lexed.includes:
+                if inc.angled:
+                    continue
+                target = repo.resolve_include(sf, inc.path)
+                if target is None or target.rel == rel:
+                    continue
+                sub = taint_chain(target.rel, visiting | {rel})
+                if sub:
+                    chain = (rel,) + sub
+                    break
+        if not visiting:
+            memo[rel] = chain
+        return chain
+
+    for sf in repo.files:
+        if sf.rel in EXEMPT:
+            continue
+        chain = taint_chain(sf.rel, frozenset())
+        if not chain:
+            continue
+        # Anchor the finding at the include that starts the chain.
+        culprit = chain[1]
+        line = 1
+        for inc in sf.lexed.includes:
+            resolved = (
+                f"<{inc.path}>"
+                if inc.angled
+                else getattr(
+                    repo.resolve_include(sf, inc.path), "rel", None
+                )
+            )
+            if resolved == culprit:
+                line = inc.line
+                break
+        findings.append(
+            Finding(
+                "determinism/tainted-include",
+                sf.rel,
+                line,
+                "reaches entropy via "
+                + " -> ".join(chain[1:])
+                + "; simulation code must stay bit-reproducible "
+                "(use util/rng, or encapsulate the clock like "
+                "exp/stopwatch)",
+            )
+        )
+    return findings

@@ -1,0 +1,337 @@
+"""Include-graph layering pass.
+
+Builds the whole-program include graph and enforces the declared layer
+manifest (``tools/analyze/layers.json``):
+
+  layering/unmapped-dir     a src/ directory absent from the manifest
+  layering/upward-include   a file includes a header from a higher band
+  layering/cross-band       a file includes a sibling directory in the
+                            same band (bands are independent by design)
+  layering/cycle            directory-level strongly connected component
+  layering/unresolved-include  quoted include that resolves to no file
+  layering/dead-include     quoted include providing no name the
+                            including file ever mentions
+
+Dead-include detection is lexical: the target header's *provided
+names* (types, macros, using-aliases, functions and namespace-scope
+constants, extracted from the token stream with brace-depth tracking)
+are intersected with the identifier set of the including file.  The
+extraction deliberately over-collects — an extra provided name can
+only hide a dead include, never invent one.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from pathlib import Path
+
+from ..lexer import Lexed
+from ..model import Finding, Repo, SourceFile
+
+NAME = "layering"
+RULES = [
+    "layering/unmapped-dir",
+    "layering/upward-include",
+    "layering/cross-band",
+    "layering/cycle",
+    "layering/unresolved-include",
+    "layering/dead-include",
+]
+
+_KEYWORDS = {
+    "alignas", "alignof", "auto", "bool", "break", "case", "catch",
+    "char", "class", "const", "constexpr", "const_cast", "continue",
+    "decltype", "default", "delete", "do", "double", "dynamic_cast",
+    "else", "enum", "explicit", "extern", "false", "float", "for",
+    "friend", "goto", "if", "inline", "int", "long", "mutable",
+    "namespace", "new", "noexcept", "nullptr", "operator", "private",
+    "protected", "public", "register", "reinterpret_cast", "return",
+    "short", "signed", "sizeof", "static", "static_assert",
+    "static_cast", "struct", "switch", "template", "this", "throw",
+    "true", "try", "typedef", "typeid", "typename", "union",
+    "unsigned", "using", "virtual", "void", "volatile", "while",
+    "final", "override", "assert", "std",
+}
+
+
+def load_manifest(root: Path) -> dict:
+    """The analyzed tree's manifest if it ships one (fixtures do),
+    else the packaged manifest next to this module."""
+    local = root / "tools" / "analyze" / "layers.json"
+    path = local if local.is_file() else Path(__file__).parent.parent / "layers.json"
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _layer_map(manifest: dict) -> dict[str, int]:
+    return {
+        d: i
+        for i, band in enumerate(manifest.get("layers", []))
+        for d in band
+    }
+
+
+def provided_names(lexed: Lexed) -> set[str]:
+    """Names a header offers to its includers (over-approximation)."""
+    names: set[str] = set()
+    for d in lexed.directives:
+        if d.name == "define" and d.rest:
+            macro = d.rest.split()[0].split("(")[0]
+            if macro:
+                names.add(macro)
+
+    tokens = lexed.tokens
+    # Effective brace depth: namespace braces are transparent.
+    depth = 0
+    transparent: list[bool] = []
+    typedef_depth: int | None = None
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = tokens[i + 1] if i + 1 < n else None
+        if t.kind == "punct":
+            if t.text == "{":
+                # `namespace [a[::b]...] {` braces are transparent:
+                # walk back over the (possibly qualified) name.
+                is_ns = False
+                back = i - 1
+                while back >= 0:
+                    b = tokens[back]
+                    if b.kind == "ident":
+                        if b.text == "namespace":
+                            is_ns = True
+                            break
+                        back -= 1
+                    elif b.kind == "punct" and b.text == ":":
+                        back -= 1
+                    else:
+                        break
+                transparent.append(is_ns)
+                if not is_ns:
+                    depth += 1
+            elif t.text == "}":
+                if transparent and not transparent.pop():
+                    depth = max(depth - 1, 0)
+            elif t.text == ";":
+                if typedef_depth == depth and prev is not None and \
+                        prev.kind == "ident":
+                    names.add(prev.text)
+                typedef_depth = None
+            i += 1
+            continue
+        if t.kind != "ident":
+            i += 1
+            continue
+
+        if t.text in ("class", "struct", "union", "enum"):
+            j = i + 1
+            if (
+                t.text == "enum"
+                and j < n
+                and tokens[j].kind == "ident"
+                and tokens[j].text in ("class", "struct")
+            ):
+                j += 1
+            if j < n and tokens[j].kind == "ident":
+                names.add(tokens[j].text)
+            i = j + 1
+            continue
+        if t.text == "typedef":
+            typedef_depth = depth
+            i += 1
+            continue
+        if t.text == "using" and nxt is not None and nxt.kind == "ident":
+            after = tokens[i + 2] if i + 2 < n else None
+            if after is not None and after.text == "=":
+                names.add(nxt.text)
+            i += 1
+            continue
+        if t.text in _KEYWORDS:
+            i += 1
+            continue
+        if depth <= 1 and nxt is not None and nxt.kind == "punct":
+            prev_punct = prev.text if prev is not None and \
+                prev.kind == "punct" else ""
+            if nxt.text == "(" and prev_punct not in (".",):
+                if not (prev is not None and prev.kind == "ident"
+                        and prev.text in ("return", "case")):
+                    names.add(t.text)
+            elif nxt.text in ("=", "{", ";") and prev is not None and (
+                prev.kind == "ident" or prev_punct in (">", "*", "&", "]")
+            ):
+                names.add(t.text)
+        i += 1
+    return names
+
+
+def _directory(rel: str) -> str | None:
+    parts = rel.split("/")
+    if parts[0] == "src" and len(parts) >= 3:
+        return parts[1]
+    return None
+
+
+def _sccs(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's strongly connected components, deterministic order."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(graph.get(v, ())):
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            out.append(sorted(comp))
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return out
+
+
+def run(repo: Repo) -> list[Finding]:
+    manifest = load_manifest(repo.root)
+    layer_of = _layer_map(manifest)
+    overrides: dict[str, str] = manifest.get("overrides", {})
+    findings: list[Finding] = []
+
+    @lru_cache(maxsize=None)
+    def provided(rel: str) -> frozenset[str]:
+        return frozenset(provided_names(repo.by_rel[rel].lexed))
+
+    def layer_dir(sf: SourceFile) -> str | None:
+        if sf.rel in overrides:
+            return overrides[sf.rel]
+        return _directory(sf.rel)
+
+    # Directory-level graph for cycle reporting: dir -> dir with the
+    # first file:line that introduces each edge.
+    dir_edges: dict[str, set[str]] = {}
+    edge_site: dict[tuple[str, str], tuple[str, int]] = {}
+
+    seen_dirs: set[str] = set()
+    for sf in repo.files:
+        src_dir = layer_dir(sf)
+        if src_dir is not None:
+            seen_dirs.add(src_dir)
+        for inc in sf.lexed.includes:
+            if inc.angled:
+                continue
+            target = repo.resolve_include(sf, inc.path)
+            if target is None:
+                findings.append(
+                    Finding(
+                        "layering/unresolved-include",
+                        sf.rel,
+                        inc.line,
+                        f'"{inc.path}" resolves to no repo file '
+                        f"(typo, or a deleted header)",
+                    )
+                )
+                continue
+
+            tgt_dir = layer_dir(target)
+            if src_dir is not None and tgt_dir is not None \
+                    and src_dir != tgt_dir:
+                dir_edges.setdefault(src_dir, set()).add(tgt_dir)
+                edge_site.setdefault(
+                    (src_dir, tgt_dir), (sf.rel, inc.line)
+                )
+                src_layer = layer_of.get(src_dir)
+                tgt_layer = layer_of.get(tgt_dir)
+                if src_layer is not None and tgt_layer is not None:
+                    if tgt_layer > src_layer:
+                        findings.append(
+                            Finding(
+                                "layering/upward-include",
+                                sf.rel,
+                                inc.line,
+                                f"src/{src_dir} (band {src_layer}) must "
+                                f"not include src/{tgt_dir} (band "
+                                f"{tgt_layer}); invert the dependency "
+                                f"or move the shared piece down",
+                            )
+                        )
+                    elif tgt_layer == src_layer:
+                        findings.append(
+                            Finding(
+                                "layering/cross-band",
+                                sf.rel,
+                                inc.line,
+                                f"src/{src_dir} and src/{tgt_dir} share "
+                                f"band {src_layer} and must stay "
+                                f"independent",
+                            )
+                        )
+
+            # Dead include: the target provides no name this file uses.
+            stem_match = (
+                Path(sf.rel).stem == Path(target.rel).stem
+                and sf.rel != target.rel
+            )
+            if not stem_match and target.rel != sf.rel:
+                offered = provided(target.rel)
+                if offered and not (offered & sf.lexed.identifiers()):
+                    findings.append(
+                        Finding(
+                            "layering/dead-include",
+                            sf.rel,
+                            inc.line,
+                            f'"{inc.path}" provides nothing this file '
+                            f"references; drop the include",
+                        )
+                    )
+
+    for d in sorted(seen_dirs):
+        if d not in layer_of:
+            findings.append(
+                Finding(
+                    "layering/unmapped-dir",
+                    f"src/{d}",
+                    0,
+                    f"src/{d} is not in tools/analyze/layers.json; "
+                    f"add it to a band",
+                )
+            )
+
+    for comp in _sccs(dir_edges):
+        if len(comp) < 2:
+            continue
+        anchor = min(
+            edge_site[(a, b)]
+            for a in comp
+            for b in comp
+            if (a, b) in edge_site
+        )
+        findings.append(
+            Finding(
+                "layering/cycle",
+                anchor[0],
+                anchor[1],
+                "directory cycle among src/{"
+                + ", ".join(comp)
+                + "}; layering requires a DAG",
+            )
+        )
+    return findings

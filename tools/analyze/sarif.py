@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 emitter.
+
+One run, one result per finding.  Baselined and in-file-suppressed
+findings are included with a ``suppressions`` entry so SARIF viewers
+show the full picture; gating looks only at unsuppressed results.
+Output is deterministic (sorted results, no timestamps) so a SARIF
+snapshot can be golden-tested.
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import __version__
+from .model import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    "suppression": "warning",
+}
+
+
+def _result(finding: Finding, suppression_kind: str | None) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.pass_name, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+    }
+    if suppression_kind is not None:
+        result["suppressions"] = [{"kind": suppression_kind}]
+    return result
+
+
+def render(
+    active: list[Finding],
+    baselined: list[Finding],
+    suppressed: list[Finding],
+    rule_ids: list[str],
+) -> str:
+    """Render the full SARIF log as a JSON string."""
+    results = (
+        [(f, None) for f in active]
+        + [(f, "external") for f in baselined]
+        + [(f, "inSource") for f in suppressed]
+    )
+    results.sort(key=lambda pair: pair[0].sort_key())
+    rules = [
+        {"id": rule_id, "name": rule_id.replace("/", "-")}
+        for rule_id in sorted(set(rule_ids) | {f.rule for f, _ in results})
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "cameo-analyze",
+                        "version": __version__,
+                        "informationUri": (
+                            "https://github.com/cameo-sim/cameo"
+                            "/tree/main/tools/analyze"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///REPO/"}
+                },
+                "results": [_result(f, kind) for f, kind in results],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=False) + "\n"

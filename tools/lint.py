@@ -1,329 +1,25 @@
 #!/usr/bin/env python3
-"""Repository-convention linter for the CAMEO simulator.
+"""Thin compatibility shim over ``tools/analyze``.
 
-Machine-checks the conventions the codebase relies on but no compiler
-enforces:
+The seven repository-convention rules that used to live here (include
+guards, ``@file`` docs, nondeterminism bans, hygiene, hot-path
+containers, DRAM pipeline entry, generator use) are now the
+``conventions`` pass of the multi-pass analyzer in ``tools/analyze``,
+which also layers the include graph, cross-checks the stats schema,
+taints entropy transitively, and audits mutation coverage.
 
-  1. Include guards in ``src/**/*.hh`` are named
-     ``CAMEO_<DIR>_<FILE>_HH`` (path components under ``src/``,
-     uppercased, non-alphanumerics mapped to ``_``), with the matching
-     ``#define`` and a ``#endif // GUARD`` trailer.
-  2. Every header under ``src/`` carries a Doxygen ``@file`` comment.
-  3. No nondeterminism outside ``src/util/rng`` and the sweep engine's
-     host-side stopwatch (``src/exp/stopwatch``): ``rand()``,
-     ``srand()``, ``time()``, ``clock()``, ``std::random_device``, and
-     the ``<chrono>`` wall clocks are banned in simulation code so runs
-     stay bit-reproducible (google-benchmark owns timing in ``bench/``).
-  4. Hygiene: no tabs, no trailing whitespace, files end with exactly
-     one newline.
-  5. No ``<unordered_map>``/``<unordered_set>`` in the hot-path
-     directories ``src/vm`` and ``src/orgs``: per-access lookups there
-     use ``util/flat_map.hh`` (open addressing, no per-node
-     allocation). Cold-path exceptions go in ``HASH_MAP_ALLOWLIST``.
-  6. No direct ``DramModule::access`` calls in the pipeline layers
-     (``src/orgs``, ``src/core``, ``src/system``): device commands go
-     through ``DramModule::request`` so the Queued timing mode sees
-     every command (DESIGN.md §9). ``access`` remains only as the
-     blocking shim inside ``src/dram`` and for tests. Exceptions go in
-     ``DRAM_ACCESS_ALLOWLIST``.
-  7. No direct ``SyntheticGenerator`` use in ``src/exp`` and ``bench``:
-     sweep and bench code builds access streams through
-     ``TraceArenaCache::instance().source()`` (or a ``SystemConfig``
-     with ``useTraceArena``) so streams are recorded once and replayed
-     everywhere (DESIGN.md §10). Benches that deliberately measure the
-     raw generator go in ``GENERATOR_ALLOWLIST``.
+``python3 tools/lint.py [repo-root]`` therefore runs the full analyzer
+so one tool owns the conventions. To run only the legacy rules:
 
-Usage: ``python3 tools/lint.py [repo-root]``. Exits non-zero and prints
-``file:line: message`` for every violation.
+    python3 tools/analyze --passes conventions
 """
 
-from __future__ import annotations
-
-import re
 import sys
 from pathlib import Path
 
-CXX_SUFFIXES = {".hh", ".cc", ".cpp", ".hpp"}
-SOURCE_DIRS = ("src", "tests", "bench", "examples")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-# Files allowed to reach for entropy: the deterministic RNG wrappers,
-# plus the sweep engine's host-side stopwatch (wall-clock telemetry for
-# throughput reporting; its readings never feed simulation state).
-NONDETERMINISM_EXEMPT = {
-    "src/util/rng.hh",
-    "src/util/rng.cc",
-    "src/exp/stopwatch.hh",
-    "src/exp/stopwatch.cc",
-}
-
-# (human name, regex) for banned nondeterminism sources. Applied to
-# comment- and string-stripped code, case-sensitively.
-BANNED_PATTERNS = [
-    ("rand()", re.compile(r"(?<![\w:])s?rand\s*\(")),
-    ("time()/clock()", re.compile(r"(?<![\w:.>])(?:time|clock)\s*\(")),
-    ("std::random_device", re.compile(r"std\s*::\s*random_device")),
-    (
-        "<chrono> wall clock",
-        re.compile(
-            r"std\s*::\s*chrono\s*::\s*"
-            r"(?:system_clock|steady_clock|high_resolution_clock)"
-        ),
-    ),
-]
-
-
-# Directories whose per-access data structures must use util/flat_map.hh
-# rather than the node-allocating std hash containers.
-HOT_PATH_DIRS = ("src/vm", "src/orgs")
-
-# Hot-path files allowed to keep std hash containers (cold-path setup
-# code only). Currently empty; add "src/vm/foo.cc" style paths here.
-HASH_MAP_ALLOWLIST: set[str] = set()
-
-HASH_MAP_INCLUDE_RE = re.compile(
-    r"^\s*#\s*include\s*<(unordered_map|unordered_set)>"
-)
-
-
-# Layers that must reach DRAM devices through DramModule::request (the
-# transaction pipeline's entry point) rather than the blocking
-# DramModule::access shim.
-DRAM_PIPELINE_DIRS = ("src/orgs", "src/core", "src/system")
-
-# Pipeline-layer files allowed to call DramModule::access directly
-# (none today; the blocking shim lives in src/dram and is out of
-# scope). Add "src/orgs/foo.cc" style paths here.
-DRAM_ACCESS_ALLOWLIST: set[str] = set()
-
-# DRAM modules are uniformly named stacked_/offchip_ or reached via the
-# stackedModule()/offchipModule() accessors; match .access( on any of
-# those spellings.
-DRAM_ACCESS_RE = re.compile(
-    r"(?:(?:stacked_|offchip_)\s*\.|stackedModule\(\)\s*->"
-    r"|offchipModule\(\)\s*\.)\s*access\s*\("
-)
-
-
-# Layers that must obtain access streams from the trace-arena cache
-# (record once, replay everywhere) instead of constructing generators.
-GENERATOR_BAN_DIRS = ("src/exp", "bench")
-
-# Files allowed to construct SyntheticGenerator directly: benches whose
-# whole point is measuring the raw generator against arena replay.
-GENERATOR_ALLOWLIST = {
-    "bench/micro_components.cc",
-    "bench/perf_arena.cc",
-}
-
-GENERATOR_RE = re.compile(r"\bSyntheticGenerator\b")
-
-
-def strip_comments_and_strings(code: str) -> str:
-    """Blank out comments and string/char literals, preserving line
-    structure so reported line numbers stay accurate."""
-    out: list[str] = []
-    i, n = 0, len(code)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = code[i]
-        nxt = code[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "string"
-            elif c == "'":
-                state = "char"
-            out.append(c)
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-        elif state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-def expected_guard(rel: Path) -> str:
-    """CAMEO_<DIR>_<FILE>_HH for a path like src/dir/file.hh."""
-    parts = rel.parts[1:-1] + (rel.stem,)  # drop leading "src"
-    mangled = "_".join(re.sub(r"[^A-Za-z0-9]", "_", p) for p in parts)
-    return f"CAMEO_{mangled.upper()}_HH"
-
-
-def check_include_guard(rel: Path, text: str, problems: list[str]) -> None:
-    guard = expected_guard(rel)
-    lines = text.splitlines()
-    ifndef_re = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
-    ifndef_line = None
-    for lineno, line in enumerate(lines, 1):
-        m = ifndef_re.match(line)
-        if m:
-            ifndef_line = (lineno, m.group(1))
-            break
-    if ifndef_line is None:
-        problems.append(f"{rel}:1: missing include guard (#ifndef {guard})")
-        return
-    lineno, actual = ifndef_line
-    if actual != guard:
-        problems.append(
-            f"{rel}:{lineno}: include guard '{actual}' should be '{guard}'"
-        )
-        return
-    if not re.search(rf"^\s*#\s*define\s+{re.escape(guard)}\b", text, re.M):
-        problems.append(f"{rel}:{lineno}: missing '#define {guard}'")
-    if not re.search(rf"#\s*endif\s*//\s*{re.escape(guard)}\s*$", text):
-        problems.append(
-            f"{rel}:{len(lines)}: missing trailing '#endif // {guard}'"
-        )
-
-
-def check_file_doc(rel: Path, text: str, problems: list[str]) -> None:
-    head = "\n".join(text.splitlines()[:10])
-    if "@file" not in head:
-        problems.append(
-            f"{rel}:1: missing Doxygen '@file' comment at top of header"
-        )
-
-
-def check_nondeterminism(rel: Path, text: str, problems: list[str]) -> None:
-    if rel.as_posix() in NONDETERMINISM_EXEMPT:
-        return
-    stripped = strip_comments_and_strings(text)
-    for lineno, line in enumerate(stripped.splitlines(), 1):
-        for name, pattern in BANNED_PATTERNS:
-            if pattern.search(line):
-                problems.append(
-                    f"{rel}:{lineno}: banned nondeterminism source "
-                    f"{name}; use util/rng (seeded, reproducible)"
-                )
-
-
-def check_hot_path_containers(
-    rel: Path, text: str, problems: list[str]
-) -> None:
-    posix = rel.as_posix()
-    if not posix.startswith(tuple(d + "/" for d in HOT_PATH_DIRS)):
-        return
-    if posix in HASH_MAP_ALLOWLIST:
-        return
-    for lineno, line in enumerate(text.splitlines(), 1):
-        m = HASH_MAP_INCLUDE_RE.match(line)
-        if m:
-            problems.append(
-                f"{rel}:{lineno}: <{m.group(1)}> in hot-path directory; "
-                f"use util/flat_map.hh (or add to HASH_MAP_ALLOWLIST "
-                f"for cold-path code)"
-            )
-
-
-def check_dram_pipeline(rel: Path, text: str, problems: list[str]) -> None:
-    posix = rel.as_posix()
-    if not posix.startswith(tuple(d + "/" for d in DRAM_PIPELINE_DIRS)):
-        return
-    if posix in DRAM_ACCESS_ALLOWLIST:
-        return
-    stripped = strip_comments_and_strings(text)
-    for lineno, line in enumerate(stripped.splitlines(), 1):
-        if DRAM_ACCESS_RE.search(line):
-            problems.append(
-                f"{rel}:{lineno}: direct DramModule::access call in "
-                f"pipeline layer; use DramModule::request (or add to "
-                f"DRAM_ACCESS_ALLOWLIST)"
-            )
-
-
-def check_generator_use(rel: Path, text: str, problems: list[str]) -> None:
-    posix = rel.as_posix()
-    if not posix.startswith(tuple(d + "/" for d in GENERATOR_BAN_DIRS)):
-        return
-    if posix in GENERATOR_ALLOWLIST:
-        return
-    stripped = strip_comments_and_strings(text)
-    for lineno, line in enumerate(stripped.splitlines(), 1):
-        if GENERATOR_RE.search(line):
-            problems.append(
-                f"{rel}:{lineno}: direct SyntheticGenerator use in "
-                f"sweep/bench code; get streams from "
-                f"TraceArenaCache::instance().source() (or add to "
-                f"GENERATOR_ALLOWLIST)"
-            )
-
-
-def check_hygiene(rel: Path, text: str, problems: list[str]) -> None:
-    for lineno, line in enumerate(text.splitlines(), 1):
-        if "\t" in line:
-            problems.append(f"{rel}:{lineno}: tab character (use spaces)")
-        if line != line.rstrip():
-            problems.append(f"{rel}:{lineno}: trailing whitespace")
-    if text and not text.endswith("\n"):
-        problems.append(f"{rel}: missing newline at end of file")
-    if text.endswith("\n\n"):
-        problems.append(f"{rel}: multiple blank lines at end of file")
-
-
-def main(argv: list[str]) -> int:
-    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
-    root = root.resolve()
-
-    files: list[Path] = []
-    for top in SOURCE_DIRS:
-        base = root / top
-        if base.is_dir():
-            files.extend(
-                p
-                for p in sorted(base.rglob("*"))
-                if p.suffix in CXX_SUFFIXES and p.is_file()
-            )
-
-    problems: list[str] = []
-    for path in files:
-        rel = path.relative_to(root)
-        text = path.read_text(encoding="utf-8")
-        if rel.parts[0] == "src" and rel.suffix == ".hh":
-            check_include_guard(rel, text, problems)
-            check_file_doc(rel, text, problems)
-        check_nondeterminism(rel, text, problems)
-        check_hot_path_containers(rel, text, problems)
-        check_dram_pipeline(rel, text, problems)
-        check_generator_use(rel, text, problems)
-        check_hygiene(rel, text, problems)
-
-    for problem in problems:
-        print(problem)
-    print(
-        f"lint.py: {len(files)} files checked, {len(problems)} problem(s)",
-        file=sys.stderr,
-    )
-    return 1 if problems else 0
-
+from analyze.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))
