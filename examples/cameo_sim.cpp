@@ -24,6 +24,18 @@
  *   --timing      blocking|queued memory pipeline           (default blocking)
  *   --warmup      accesses per core skipped before measurement
  *                 (fast-forwarded via AccessSource::skip)    (default 0)
+ *   --checkpoint-at  pause after this many aggregate accesses (summed
+ *                 over cores), snapshot the full simulation state to
+ *                 --checkpoint-out, then continue to completion
+ *                                                           (default 0 = off)
+ *   --checkpoint-out snapshot path for --checkpoint-at (default cameo.snap)
+ *   --restore     restore a snapshot before running: the run resumes
+ *                 where the checkpoint paused and finishes bit-identical
+ *                 to the uninterrupted run. The configuration must match
+ *                 the snapshot's (--accesses may be larger, enabling
+ *                 warm-started extensions; --warmup must be the value
+ *                 the snapshotted run used — the restored trace cursor
+ *                 already sits past warmup + processed records)
  *   --refresh     model DRAM refresh (tREFI 7.8us, tRFC 350ns)
  *   --baseline    also run the baseline and report speedup
  *   --jobs        sweep-engine worker threads (0 = auto; also
@@ -45,6 +57,8 @@
 
 #include <iostream>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "exp/sweep.hh"
@@ -167,6 +181,11 @@ main(int argc, char **argv)
 
     config.warmupAccessesPerCore = cli.getUint("warmup", 0);
 
+    const std::uint64_t checkpoint_at = cli.getUint("checkpoint-at", 0);
+    const std::string checkpoint_out =
+        cli.getString("checkpoint-out", "cameo.snap");
+    const std::string restore_path = cli.getString("restore", "");
+
     const bool want_baseline = cli.getBool("baseline");
 
     // Arena policy: replaying from the arena only pays off when the
@@ -207,6 +226,21 @@ main(int argc, char **argv)
     sweep_jobs.push_back(
         {cli.getString("org", "cameo"), [&] {
              main_system = std::make_unique<System>(config, kind, *profile);
+             if (!restore_path.empty()) {
+                 std::string err;
+                 if (!main_system->restoreSnapshot(restore_path, &err))
+                     throw std::runtime_error("--restore failed: " + err);
+             }
+             if (checkpoint_at != 0) {
+                 main_system->runUntil(checkpoint_at);
+                 std::string err;
+                 if (!main_system->saveSnapshot(checkpoint_out, &err))
+                     throw std::runtime_error("--checkpoint-out failed: " +
+                                              err);
+                 std::cerr << "checkpoint written to " << checkpoint_out
+                           << " at " << main_system->totalAccesses()
+                           << " accesses\n";
+             }
              return main_system->run();
          }});
 

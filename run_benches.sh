@@ -3,7 +3,12 @@
 # settings, extension/ablation benches on a representative subset.
 # Set CAMEO_BENCH_JOBS=$(nproc) to run each bench's simulation grid on
 # all cores; tables are bit-identical to a serial run.
-set -eu
+#
+# Every bench runs even when an earlier one fails; the script exits
+# nonzero at the end listing every failed bench, so one broken figure
+# neither hides later failures nor silently yields a partial output
+# that exits 0.
+set -u
 cd "$(dirname "$0")"
 
 # Fail fast with a clear message when the bench binaries are missing
@@ -22,38 +27,45 @@ for b in fig02_motivation perf_hotpath perf_queue; do
     fi
 done
 
-{
+failed=""
+
+# run_bench LABEL NAME [ARGS...]: banner, run, record failures instead
+# of aborting the sweep.
+run_bench() {
+    _label="$1"
+    _b="$2"
+    shift 2
+    echo "===================================================================="
+    echo "===== $_label"
+    echo "===================================================================="
+    if "./build/bench/$_b" "$@"; then
+        :
+    else
+        _rc=$?
+        echo "***** bench/$_b FAILED with exit status $_rc" >&2
+        failed="$failed $_b"
+    fi
+    echo
+}
+
 for b in fig02_motivation fig03_dram_trends table1_config table2_workloads \
          fig08_llt_latency fig09_llt_designs fig12_llp table3_llp_accuracy \
          fig13_speedup table4_bandwidth fig14_energy fig15_placement; do
-    echo "===================================================================="
-    echo "===== bench/$b"
-    echo "===================================================================="
-    ./build/bench/$b
-    echo
+    run_bench "bench/$b" "$b"
 done
 export CAMEO_BENCH_WORKLOADS=mcf,GemsFDTD,zeusmp,milc,soplex,libquantum,omnetpp,leslie3d
 for b in ablation_llp_table ablation_capacity_ratio ablation_cameo_freq \
          ablation_refresh mix_study; do
-    echo "===================================================================="
-    echo "===== bench/$b (workload subset: $CAMEO_BENCH_WORKLOADS)"
-    echo "===================================================================="
-    ./build/bench/$b
-    echo
+    run_bench "bench/$b (workload subset: $CAMEO_BENCH_WORKLOADS)" "$b"
 done
 unset CAMEO_BENCH_WORKLOADS
-echo "===================================================================="
-echo "===== bench/micro_components"
-echo "===================================================================="
-./build/bench/micro_components --benchmark_min_time=0.2
-echo
-echo "===================================================================="
-echo "===== bench/perf_hotpath (simulator throughput -> BENCH_hotpath.json)"
-echo "===================================================================="
-./build/bench/perf_hotpath
-echo
-echo "===================================================================="
-echo "===== bench/perf_queue (queued contention -> BENCH_queue.json)"
-echo "===================================================================="
-./build/bench/perf_queue
-}
+run_bench "bench/micro_components" micro_components --benchmark_min_time=0.2
+run_bench "bench/perf_hotpath (simulator throughput -> BENCH_hotpath.json)" \
+    perf_hotpath
+run_bench "bench/perf_queue (queued contention -> BENCH_queue.json)" \
+    perf_queue
+
+if [ -n "$failed" ]; then
+    echo "error: failed benches:$failed" >&2
+    exit 1
+fi

@@ -120,4 +120,47 @@ SetAssocCache::registerStats(StatRegistry &registry)
     registry.add(writebacks_);
 }
 
+void
+SetAssocCache::save(SnapshotWriter &w) const
+{
+    w.u64(numSets_);
+    w.u32(ways_);
+    w.u64(useClock_);
+    for (const std::uint64_t s : rng_.state())
+        w.u64(s);
+    for (const Way &way : store_) {
+        w.u64(way.tag);
+        w.b(way.dirty);
+        w.b(way.meta.valid);
+        w.u64(way.meta.lastUse);
+    }
+}
+
+void
+SetAssocCache::restore(SnapshotReader &r)
+{
+    const std::uint64_t nSets = r.u64();
+    const std::uint32_t nWays = r.u32();
+    if (!r.ok())
+        return;
+    if (nSets != numSets_ || nWays != ways_) {
+        r.fail("cache: '" + name_ + "' geometry mismatch: snapshot has " +
+               std::to_string(nSets) + " sets x " +
+               std::to_string(nWays) + " ways, this cache has " +
+               std::to_string(numSets_) + " x " + std::to_string(ways_));
+        return;
+    }
+    useClock_ = r.u64();
+    Rng::State rngState;
+    for (std::uint64_t &s : rngState)
+        s = r.u64();
+    rng_.setState(rngState);
+    for (Way &way : store_) {
+        way.tag = r.u64();
+        way.dirty = r.b();
+        way.meta.valid = r.b();
+        way.meta.lastUse = r.u64();
+    }
+}
+
 } // namespace cameo

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/replacement.hh"
+#include "snapshot/snapshot.hh"
 #include "stats/counter.hh"
 #include "stats/registry.hh"
 #include "util/rng.hh"
@@ -82,6 +83,15 @@ class SetAssocCache
     }
 
     void registerStats(StatRegistry &registry);
+
+    /**
+     * Checkpoint the tag/dirty/LRU arrays, the LRU use clock, and the
+     * Random-policy RNG cursor. Geometry is structural; restore()
+     * verifies it and flags @p r on mismatch. Counters travel in the
+     * stats section, not here.
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
     const Counter &hits() const { return hits_; }
     const Counter &misses() const { return misses_; }

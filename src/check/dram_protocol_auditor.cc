@@ -110,4 +110,19 @@ DramProtocolAuditor::reset()
     violations_ = 0;
 }
 
+void
+DramProtocolAuditor::resyncBank(std::uint32_t channel, std::uint32_t bank,
+                                std::uint64_t open_row, Tick activate_tick)
+{
+    BankState &b = bankAt(channel, bank);
+    b = BankState{};
+    b.openRow = open_row;
+    if (open_row != BankState::kNoRow) {
+        // An open row implies an ACT at the device's recorded tick, so
+        // tRAS and tRC resume with full strictness.
+        b.lastActivate = activate_tick;
+        b.everActivated = true;
+    }
+}
+
 } // namespace cameo

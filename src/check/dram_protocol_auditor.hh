@@ -79,6 +79,17 @@ class DramProtocolAuditor
     /** Forget all bank state (mirrors DramModule::reset). */
     void reset();
 
+    /**
+     * Re-seed one bank's shadow state from a restored checkpoint:
+     * @p open_row / @p activate_tick come from the device's restored
+     * row buffer, so tRAS and open-row checks resume exactly. The
+     * precharge history is not serialized, so the first post-restore
+     * ACT on a bank whose row was closed is checked leniently (no tRP
+     * window) — once, after which normal shadowing resumes.
+     */
+    void resyncBank(std::uint32_t channel, std::uint32_t bank,
+                    std::uint64_t open_row, Tick activate_tick);
+
   private:
     /** Shadow state of one bank. */
     struct BankState

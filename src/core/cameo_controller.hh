@@ -35,6 +35,7 @@
 #include "core/line_location_predictor.hh"
 #include "core/line_location_table.hh"
 #include "dram/dram_module.hh"
+#include "snapshot/snapshot.hh"
 #include "stats/counter.hh"
 #include "stats/registry.hh"
 #include "util/types.hh"
@@ -135,6 +136,22 @@ class CameoController
     LltKind lltKind() const { return params_.llt; }
 
     void registerStats(StatRegistry &registry);
+
+    /**
+     * Checkpoint the LLT and predictor tables. Counters are registered
+     * stats (stats section); the swap filter is a configuration-derived
+     * callback the owning organization re-installs at construction.
+     */
+    void save(SnapshotWriter &w) const
+    {
+        llt_.save(w);
+        predictor_.save(w);
+    }
+    void restore(SnapshotReader &r)
+    {
+        llt_.restore(r);
+        predictor_.restore(r);
+    }
 
     const Counter &servicedStacked() const { return servicedStacked_; }
     const Counter &servicedOffchip() const { return servicedOffchip_; }

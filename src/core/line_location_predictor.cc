@@ -125,6 +125,39 @@ LineLocationPredictor::storageBytes() const
 }
 
 void
+LineLocationPredictor::save(SnapshotWriter &w) const
+{
+    w.u8(static_cast<std::uint8_t>(kind_));
+    w.u32(numCores_);
+    w.u32(tableEntries_);
+    w.vecU8(table_);
+}
+
+void
+LineLocationPredictor::restore(SnapshotReader &r)
+{
+    const std::uint8_t kind = r.u8();
+    const std::uint32_t cores = r.u32();
+    const std::uint32_t entries = r.u32();
+    if (!r.ok())
+        return;
+    if (kind != static_cast<std::uint8_t>(kind_) || cores != numCores_ ||
+        entries != tableEntries_) {
+        r.fail("llp: predictor configuration mismatch (kind/cores/entries)");
+        return;
+    }
+    std::vector<std::uint8_t> table;
+    r.vecU8(table);
+    if (!r.ok())
+        return;
+    if (table.size() != table_.size()) {
+        r.fail("llp: LLR table size mismatch");
+        return;
+    }
+    table_ = std::move(table);
+}
+
+void
 LineLocationPredictor::registerStats(StatRegistry &registry,
                                      const std::string &prefix)
 {

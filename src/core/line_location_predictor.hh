@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "stats/counter.hh"
 #include "stats/registry.hh"
 #include "util/types.hh"
@@ -116,6 +117,14 @@ class LineLocationPredictor
     std::uint64_t storageBytes() const;
 
     void registerStats(StatRegistry &registry, const std::string &prefix);
+
+    /**
+     * Checkpoint the LLR tables. Kind/geometry are structural and
+     * verified on restore; the Table III case counters are registered
+     * stats and travel in the snapshot's stats section.
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
   private:
     std::uint32_t indexOf(InstAddr pc) const;

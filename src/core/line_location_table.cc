@@ -89,6 +89,49 @@ LineLocationTable::encodedBytes() const
     return divCeil(bits, 8);
 }
 
+void
+LineLocationTable::save(SnapshotWriter &w) const
+{
+    w.u64(numGroups_);
+    w.u32(groupSize_);
+    w.vecU8(loc_);
+}
+
+void
+LineLocationTable::restore(SnapshotReader &r)
+{
+    const std::uint64_t groups = r.u64();
+    const std::uint32_t k = r.u32();
+    if (!r.ok())
+        return;
+    if (groups != numGroups_ || k != groupSize_) {
+        r.fail("llt: geometry mismatch: snapshot has " +
+               std::to_string(groups) + " groups of " + std::to_string(k) +
+               ", this table has " + std::to_string(numGroups_) +
+               " groups of " + std::to_string(groupSize_));
+        return;
+    }
+    std::vector<std::uint8_t> loc;
+    r.vecU8(loc);
+    if (!r.ok())
+        return;
+    if (loc.size() != loc_.size()) {
+        r.fail("llt: location array size mismatch");
+        return;
+    }
+    loc_ = std::move(loc);
+    // A snapshot written by save() holds only audited entries, but the
+    // bytes may have been hand-edited between save and restore: re-check
+    // every group before trusting the table.
+    for (std::uint64_t g = 0; g < numGroups_; ++g) {
+        if (!verifyGroup(g)) {
+            r.fail("llt: restored entry for group " + std::to_string(g) +
+                   " is not a permutation");
+            return;
+        }
+    }
+}
+
 std::uint64_t
 LineLocationTable::permutedGroups() const
 {

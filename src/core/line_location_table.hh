@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "util/types.hh"
 
 namespace cameo
@@ -77,6 +78,14 @@ class LineLocationTable
 
     /** Number of groups whose mapping differs from identity. */
     std::uint64_t permutedGroups() const;
+
+    /**
+     * Checkpoint the full location array. Geometry (group count and K)
+     * is structural; restore() verifies it and re-audits every restored
+     * entry against the permutation invariant.
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
   private:
     std::uint64_t index(std::uint64_t group, std::uint32_t slot) const

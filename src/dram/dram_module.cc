@@ -363,4 +363,110 @@ DramModule::reset()
     busBytesPerWindow_.reset();
 }
 
+void
+DramModule::save(SnapshotWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(channels_.size()));
+    w.u32(channels_.empty()
+              ? 0
+              : static_cast<std::uint32_t>(channels_[0].banks.size()));
+    w.u8(mode_ == TimingMode::Queued ? 1 : 0);
+    for (const Channel &chan : channels_) {
+        w.u64(chan.busReadyTick);
+        for (const Bank &bank : chan.banks) {
+            w.u64(bank.openRow);
+            w.u64(bank.activateTick);
+            w.u64(bank.readyTick);
+        }
+    }
+    if (mode_ == TimingMode::Queued) {
+        for (const QueuedChannel &qc : queued_) {
+            w.u64(qc.inServiceReads.size());
+            for (Tick t : qc.inServiceReads)
+                w.u64(t);
+            w.u64(qc.writeQueue.size());
+            for (const QueuedWrite &qw : qc.writeQueue) {
+                w.u64(qw.line);
+                w.u32(qw.burstBytes);
+            }
+        }
+        w.u64(bandwidthWindowStart_);
+        w.u64(bandwidthWindowBytes_);
+    }
+}
+
+void
+DramModule::restore(SnapshotReader &r)
+{
+    const std::uint32_t nChannels = r.u32();
+    const std::uint32_t nBanks = r.u32();
+    const bool queued = r.u8() != 0;
+    if (!r.ok())
+        return;
+    if (nChannels != channels_.size() ||
+        (nChannels != 0 && nBanks != channels_[0].banks.size())) {
+        r.fail("dram: '" + name_ + "' geometry mismatch: snapshot has " +
+               std::to_string(nChannels) + "x" + std::to_string(nBanks) +
+               " (channels x banks), this device has " +
+               std::to_string(channels_.size()) + "x" +
+               std::to_string(channels_.empty()
+                                  ? 0
+                                  : channels_[0].banks.size()));
+        return;
+    }
+    if (queued != (mode_ == TimingMode::Queued)) {
+        r.fail("dram: '" + name_ + "' timing-mode mismatch: snapshot " +
+               (queued ? "Queued" : "Blocking") + ", this device " +
+               (mode_ == TimingMode::Queued ? "Queued" : "Blocking"));
+        return;
+    }
+    for (std::uint32_t c = 0; c < nChannels; ++c) {
+        Channel &chan = channels_[c];
+        chan.busReadyTick = r.u64();
+        for (std::uint32_t b = 0; b < nBanks; ++b) {
+            Bank &bank = chan.banks[b];
+            bank.openRow = r.u64();
+            bank.activateTick = r.u64();
+            bank.readyTick = r.u64();
+#if CAMEO_AUDIT_ENABLED
+            protoAudit_.resyncBank(c, b, bank.openRow,
+                                   bank.activateTick);
+#endif
+        }
+    }
+    if (queued) {
+        for (QueuedChannel &qc : queued_) {
+            const std::uint64_t nReads = r.u64();
+            qc.inServiceReads.clear();
+            Tick prev = 0;
+            for (std::uint64_t i = 0; i < nReads && r.ok(); ++i) {
+                const Tick t = r.u64();
+                // Restored windows must honor the invariant the live
+                // controller maintains: bus-serialized reads complete
+                // in nondecreasing order.
+                CAMEO_AUDIT(t >= prev, "dram: restored in-service read "
+                                       "window not nondecreasing");
+                prev = t;
+                qc.inServiceReads.push_back(t);
+            }
+            const std::uint64_t nWrites = r.u64();
+            qc.writeQueue.clear();
+            for (std::uint64_t i = 0; i < nWrites && r.ok(); ++i) {
+                QueuedWrite qw;
+                qw.line = r.u64();
+                qw.burstBytes = r.u32();
+                qc.writeQueue.push_back(qw);
+            }
+            // Restored queues must honor the same bound the live
+            // controller enforces on every enqueue.
+            CAMEO_AUDIT(qc.writeQueue.size() <=
+                            queueCfg_.drainHighWatermark,
+                        "dram: restored write queue exceeds the drain "
+                        "high watermark");
+        }
+        bandwidthWindowStart_ = r.u64();
+        bandwidthWindowBytes_ = r.u64();
+    }
+}
+
 } // namespace cameo

@@ -33,6 +33,7 @@
 
 #include "check/audit.hh"
 #include "dram/address_map.hh"
+#include "snapshot/snapshot.hh"
 #include "dram/bank.hh"
 #include "dram/channel.hh"
 #include "dram/queue_config.hh"
@@ -184,6 +185,20 @@ class DramModule
 
     /** Reset dynamic state (row buffers, reservations) and counters. */
     void reset();
+
+    /**
+     * Checkpoint the device's dynamic timing state: per-bank row
+     * buffers and reservations, per-channel bus reservations, the
+     * queued-mode controller queues, and the bandwidth-window
+     * accumulator. Counters and distributions are NOT written here —
+     * they are registered statistics and travel in the System's stats
+     * section. Geometry and mode are structural (construction-time):
+     * restore() verifies them and flags @p r on mismatch. The protocol
+     * auditor's shadow state is resynchronized from the restored row
+     * buffers.
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
   private:
     /** One buffered (posted) write awaiting drain. */

@@ -1,0 +1,208 @@
+#include "exp/warm_start.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+#include <type_traits>
+
+namespace cameo
+{
+
+namespace
+{
+
+template <typename T>
+std::enable_if_t<std::is_integral_v<T> || std::is_enum_v<T>>
+appendField(std::string &key, T v)
+{
+    key += std::to_string(static_cast<std::uint64_t>(v));
+    key += '|';
+}
+
+void
+appendField(std::string &key, double v)
+{
+    // Hex float: exact round-trip, unlike to_string's fixed precision.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a|", v);
+    key += buf;
+}
+
+void
+appendTimings(std::string &key, const DramTimings &t)
+{
+    appendField(key, t.cpuMhz);
+    appendField(key, t.busMhz);
+    appendField(key, t.channels);
+    appendField(key, t.banksPerChannel);
+    appendField(key, t.busWidthBits);
+    appendField(key, t.rowBytes);
+    appendField(key, t.linesPerRow);
+    appendField(key, t.tCas);
+    appendField(key, t.tRcd);
+    appendField(key, t.tRp);
+    appendField(key, t.tRas);
+    appendField(key, t.tRefi);
+    appendField(key, t.tRfc);
+}
+
+/**
+ * Cache key over every configuration field that shapes the simulated
+ * state — i.e. everything except the measurement length
+ * (accessesPerCore), the step budget, and host-side knobs (trace
+ * arena, jobs), which by construction do not affect the prefix.
+ */
+std::string
+prefixKey(const SystemConfig &config, OrgKind kind,
+          const WorkloadProfile &profile, std::uint64_t prefix)
+{
+    std::string key;
+    key.reserve(320);
+    appendField(key, static_cast<std::uint64_t>(kind));
+    key += profile.name;
+    key += '|';
+    appendField(key, prefix);
+    appendField(key, config.numCores);
+    appendField(key, config.cyclesPerInstruction);
+    appendField(key, config.maxMlp);
+    appendField(key, config.l3Bytes);
+    appendField(key, config.l3Ways);
+    appendField(key, config.l3HitLatency);
+    appendField(key, config.l3HitStall);
+    appendField(key, config.stackedBytes);
+    appendField(key, config.offchipBytes);
+    appendTimings(key, config.stacked);
+    appendTimings(key, config.offchip);
+    appendField(key, config.pageFaultLatency);
+    appendField(key, static_cast<std::uint64_t>(config.timingMode));
+    appendField(key, config.dramQueues.readWindow);
+    appendField(key, config.dramQueues.writeQueueDepth);
+    appendField(key, config.dramQueues.drainHighWatermark);
+    appendField(key, config.dramQueues.drainLowWatermark);
+    appendField(key, static_cast<std::uint64_t>(config.lltKind));
+    appendField(key, static_cast<std::uint64_t>(config.predictorKind));
+    appendField(key, config.llpTableEntries);
+    appendField(key, config.freqEpochAccesses);
+    appendField(key, config.tlmVictimProbes);
+    appendField(key, config.tlmMigrateThreshold);
+    appendField(key, config.scaleFactor);
+    appendField(key, config.warmupAccessesPerCore);
+    appendField(key, config.seed);
+    return key;
+}
+
+WarmStartCache::Blob
+computePrefix(const SystemConfig &config, OrgKind kind,
+              const WorkloadProfile &profile, std::uint64_t prefix)
+{
+    // The prefix system's trace is sized so no core can finish before
+    // the aggregate target (each core would have to eat the whole
+    // aggregate alone); an unfinished system's state is independent of
+    // its configured trace length, which is what makes the snapshot
+    // reusable by jobs of any (longer) length.
+    const std::uint64_t aggregate = prefix * config.numCores;
+    SystemConfig warm = config;
+    warm.accessesPerCore = aggregate;
+    warm.maxKernelSteps = 0;
+
+    System system(warm, kind, profile);
+    if (!system.runUntil(aggregate))
+        throw std::runtime_error(
+            "warm-start: prefix run finished before its target");
+
+    SnapshotWriter w;
+    system.save(w);
+    return std::make_shared<const std::vector<std::uint8_t>>(w.finish());
+}
+
+} // namespace
+
+WarmStartCache &
+WarmStartCache::instance()
+{
+    static WarmStartCache cache;
+    return cache;
+}
+
+WarmStartCache::Blob
+WarmStartCache::snapshot(const SystemConfig &config, OrgKind kind,
+                         const WorkloadProfile &profile,
+                         std::uint64_t prefix_accesses_per_core)
+{
+    if (prefix_accesses_per_core == 0)
+        throw std::runtime_error("warm-start: prefix must be nonzero");
+    if (config.sourceFactory)
+        throw std::runtime_error(
+            "warm-start: sourceFactory streams cannot be cached");
+
+    const std::string key =
+        prefixKey(config, kind, profile, prefix_accesses_per_core);
+
+    std::shared_future<Blob> fut;
+    std::promise<Blob> mine;
+    bool creator = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            fut = it->second;
+        } else {
+            fut = mine.get_future().share();
+            cache_.emplace(key, fut);
+            creator = true;
+        }
+    }
+    if (creator) {
+        try {
+            mine.set_value(computePrefix(config, kind, profile,
+                                         prefix_accesses_per_core));
+        } catch (...) {
+            mine.set_exception(std::current_exception());
+        }
+    }
+    return fut.get();
+}
+
+void
+WarmStartCache::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+std::size_t
+WarmStartCache::entries() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+RunResult
+runWorkloadWarmStarted(const SystemConfig &config, OrgKind kind,
+                       const WorkloadProfile &profile,
+                       std::uint64_t warm_prefix_per_core)
+{
+    // See the header: these cases cannot share a prefix; a cold run is
+    // bit-identical anyway, just slower.
+    if (warm_prefix_per_core == 0 || config.sourceFactory ||
+        kind == OrgKind::TlmOracle) {
+        return runWorkload(config, kind, profile);
+    }
+    assert(warm_prefix_per_core * config.numCores <
+               config.accessesPerCore &&
+           "prefix must leave slack below the measured trace length");
+
+    const WarmStartCache::Blob blob = WarmStartCache::instance().snapshot(
+        config, kind, profile, warm_prefix_per_core);
+
+    System system(config, kind, profile);
+    SnapshotReader r;
+    if (r.open(*blob))
+        system.restore(r);
+    if (!r.ok())
+        throw std::runtime_error("warm-start: restore failed: " +
+                                 r.error());
+    return system.run();
+}
+
+} // namespace cameo

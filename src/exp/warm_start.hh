@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Warm-start fan-out: share one warmed-up simulation prefix across a
+ * sweep (DESIGN.md §12).
+ *
+ * Sweeps that explore measurement-phase knobs (trace length, step
+ * budgets) repeat the same warmup prefix in every job. WarmStartCache
+ * runs that prefix ONCE per (structural config, organization, workload)
+ * key — to an aggregate access count, mid-flight, via System::runUntil —
+ * snapshots it, and hands every later job the same bytes to restore,
+ * so N jobs pay one warmup instead of N. Restoring a prefix snapshot
+ * into a longer run is exact, not approximate: the resumed simulation
+ * is bit-identical to running the long configuration from scratch
+ * (test_snapshot.cc pins this).
+ *
+ * Concurrent requests for the same key collapse onto one computation
+ * (shared-future pattern, like TraceArenaCache): the first caller
+ * simulates, the rest block on the future and share the bytes.
+ *
+ * Exclusions: configs with a custom sourceFactory are not cacheable
+ * (the factory's streams cannot be keyed) and TLM-Oracle is not
+ * warm-startable (its profiling pre-pass depends on the final trace
+ * length, which the prefix system does not know) — both fall back to
+ * cold runs in runWorkloadWarmStarted().
+ */
+
+#ifndef CAMEO_EXP_WARM_START_HH
+#define CAMEO_EXP_WARM_START_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace cameo
+{
+
+/** Process-wide cache of warmed-up simulation-prefix snapshots. */
+class WarmStartCache
+{
+  public:
+    /** Snapshot bytes, shared between all jobs that restore them. */
+    using Blob = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+    static WarmStartCache &instance();
+
+    /**
+     * The snapshot of @p kind running @p profile under @p config's
+     * structural parameters, paused after @p prefix_accesses_per_core
+     * accesses per core (aggregate target; individual cores may be a
+     * few records apart). The prefix system is configured long enough
+     * that no core finishes, so the state is independent of the final
+     * run's trace length — any job whose accessesPerCore comfortably
+     * exceeds the prefix can restore it. Computed on first request per
+     * key; concurrent callers share the computation. Throws
+     * std::runtime_error if the prefix simulation cannot be paused or
+     * snapshotted (prefix of 0, or a sourceFactory config).
+     */
+    Blob snapshot(const SystemConfig &config, OrgKind kind,
+                  const WorkloadProfile &profile,
+                  std::uint64_t prefix_accesses_per_core);
+
+    /** Drop every cached snapshot (tests). */
+    void clear();
+
+    /** Number of distinct prefixes computed so far (telemetry). */
+    std::size_t entries() const;
+
+  private:
+    WarmStartCache() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_future<Blob>> cache_;
+};
+
+/**
+ * runWorkload(), but fast-forwarded through a shared warm prefix: the
+ * first @p warm_prefix_per_core accesses per core come from (or seed)
+ * the WarmStartCache, and only the remainder is simulated here. Falls
+ * back to a plain cold runWorkload() when warm-starting does not apply
+ * (prefix 0, sourceFactory set, TLM-Oracle) — results are identical
+ * either way.
+ */
+RunResult runWorkloadWarmStarted(const SystemConfig &config, OrgKind kind,
+                                 const WorkloadProfile &profile,
+                                 std::uint64_t warm_prefix_per_core);
+
+} // namespace cameo
+
+#endif // CAMEO_EXP_WARM_START_HH

@@ -152,4 +152,46 @@ AlloyCacheOrg::registerStats(StatRegistry &registry)
     registry.add(wastedFetches_);
 }
 
+void
+AlloyCacheOrg::save(SnapshotWriter &w) const
+{
+    MemoryOrganization::save(w);
+    w.u64(numSets_);
+    for (const Set &s : sets_) {
+        w.u64(s.tag);
+        w.b(s.valid);
+        w.b(s.dirty);
+    }
+    w.vecU8(map_);
+}
+
+void
+AlloyCacheOrg::restore(SnapshotReader &r)
+{
+    MemoryOrganization::restore(r);
+    const std::uint64_t sets = r.u64();
+    if (!r.ok())
+        return;
+    if (sets != numSets_) {
+        r.fail("cache org: set count mismatch: snapshot has " +
+               std::to_string(sets) + ", this cache has " +
+               std::to_string(numSets_));
+        return;
+    }
+    for (Set &s : sets_) {
+        s.tag = r.u64();
+        s.valid = r.b();
+        s.dirty = r.b();
+    }
+    std::vector<std::uint8_t> map;
+    r.vecU8(map);
+    if (!r.ok())
+        return;
+    if (map.size() != map_.size()) {
+        r.fail("cache org: MAP-I table size mismatch");
+        return;
+    }
+    map_ = std::move(map);
+}
+
 } // namespace cameo

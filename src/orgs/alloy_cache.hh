@@ -69,6 +69,13 @@ class AlloyCacheOrg : public MemoryOrganization
     const Counter &hits() const { return hits_; }
     const Counter &misses() const { return misses_; }
 
+    /**
+     * Checkpointable: base state + the TAD tag array and the MAP-I
+     * counter tables. The set count is structural and verified.
+     */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   private:
     /** MAP-I: predict whether @p pc's access will hit the cache. */
     bool predictHit(std::uint32_t core, InstAddr pc) const;

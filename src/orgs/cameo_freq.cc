@@ -53,4 +53,28 @@ CameoFreqOrg::registerStats(StatRegistry &registry)
     registry.add(hotPages_);
 }
 
+void
+CameoFreqOrg::save(SnapshotWriter &w) const
+{
+    CameoOrg::save(w);
+    w.vecU8(pageCount_);
+    w.u64(accessesThisEpoch_);
+}
+
+void
+CameoFreqOrg::restore(SnapshotReader &r)
+{
+    CameoOrg::restore(r);
+    std::vector<std::uint8_t> counts;
+    r.vecU8(counts);
+    if (!r.ok())
+        return;
+    if (counts.size() != pageCount_.size()) {
+        r.fail("cameo-freq: page counter table size mismatch");
+        return;
+    }
+    pageCount_ = std::move(counts);
+    accessesThisEpoch_ = r.u64();
+}
+
 } // namespace cameo

@@ -39,6 +39,10 @@ class CameoFreqOrg : public CameoOrg
 
     const Counter &hotPages() const { return hotPages_; }
 
+    /** Checkpointable: CAMEO state + page counters, epoch progress. */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   private:
     /** Halve all counters (called every epoch of demand accesses). */
     void decay();

@@ -108,4 +108,18 @@ CameoOrg::variantName(LltKind llt, PredictorKind pred)
     return name;
 }
 
+void
+CameoOrg::save(SnapshotWriter &w) const
+{
+    MemoryOrganization::save(w);
+    controller_.save(w);
+}
+
+void
+CameoOrg::restore(SnapshotReader &r)
+{
+    MemoryOrganization::restore(r);
+    controller_.restore(r);
+}
+
 } // namespace cameo

@@ -51,6 +51,10 @@ class CameoOrg : public MemoryOrganization
     /** Display name for a CAMEO design point, e.g. "CAMEO(CoLocated+LLP)". */
     static std::string variantName(LltKind llt, PredictorKind pred);
 
+    /** Checkpointable: base state + the controller's LLT/LLP tables. */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   private:
     static DramTimings stackedTimingsFor(const OrgConfig &config);
     static std::uint64_t stackedModuleBytes(const OrgConfig &config);

@@ -37,12 +37,8 @@ MemoryOrganization::submit(Tick now, LineAddr line, bool is_write,
 #endif
     if (timingMode_ == TimingMode::Queued && events_ != nullptr &&
         client != nullptr) {
-        events_->schedule(done, [this, req, client](Tick when) {
-#if CAMEO_AUDIT_ENABLED
-            queueAudit_.onComplete(req.id, when);
-#endif
-            client->onMemComplete(req, when);
-        });
+        inflight_.push_back({req, done, client});
+        scheduleCompletion(req, done, client);
         return done;
     }
 #if CAMEO_AUDIT_ENABLED
@@ -51,6 +47,101 @@ MemoryOrganization::submit(Tick now, LineAddr line, bool is_write,
     if (client != nullptr)
         client->onMemComplete(req, done);
     return done;
+}
+
+void
+MemoryOrganization::scheduleCompletion(const MemRequest &req, Tick done,
+                                       MemClient *client)
+{
+    events_->schedule(done, [this, req, client](Tick when) {
+        // Retire from the in-flight registry before delivery so a
+        // snapshot taken from inside the callback (not a supported
+        // call site, but cheap to get right) never replays this
+        // completion.
+        for (std::size_t i = 0; i < inflight_.size(); ++i) {
+            if (inflight_[i].req.id == req.id) {
+                inflight_.erase(inflight_.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+#if CAMEO_AUDIT_ENABLED
+        queueAudit_.onComplete(req.id, when);
+#endif
+        client->onMemComplete(req, when);
+    });
+}
+
+void
+MemoryOrganization::save(SnapshotWriter &w) const
+{
+    w.u64(lastRequestId_);
+    w.u64(inflight_.size());
+    for (const InflightRequest &f : inflight_) {
+        w.u64(f.req.id);
+        w.u64(f.req.tag);
+        w.u64(f.req.line);
+        w.b(f.req.isWrite);
+        w.u64(f.req.pc);
+        w.u32(f.req.core);
+        w.u64(f.req.issueTick);
+        w.u64(f.done);
+    }
+    if (const DramModule *stacked = stackedModule())
+        stacked->save(w);
+    offchipModule().save(w);
+}
+
+void
+MemoryOrganization::restore(SnapshotReader &r)
+{
+    lastRequestId_ = r.u64();
+    const std::uint64_t n = r.u64();
+    inflight_.clear();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+        InflightRequest f;
+        f.req.id = r.u64();
+        f.req.tag = r.u64();
+        f.req.line = r.u64();
+        f.req.isWrite = r.b();
+        f.req.pc = r.u64();
+        f.req.core = r.u32();
+        f.req.issueTick = r.u64();
+        f.done = r.u64();
+        inflight_.push_back(f);
+    }
+    if (r.ok() && !inflight_.empty() &&
+        timingMode_ != TimingMode::Queued) {
+        r.fail("org: snapshot carries in-flight requests but this "
+               "organization uses Blocking timing");
+        return;
+    }
+#if CAMEO_AUDIT_ENABLED
+    // Re-shadow the restored transactions so their (re-scheduled)
+    // deliveries balance the books.
+    for (const InflightRequest &f : inflight_)
+        queueAudit_.onSubmit(f.req.id, f.req.issueTick);
+#endif
+    if (DramModule *stacked = stackedModule())
+        stacked->restore(r);
+    offchipModule().restore(r);
+}
+
+void
+MemoryOrganization::rescheduleInflight(
+    const std::function<MemClient *(std::uint32_t)> &client_of)
+{
+    if (inflight_.empty())
+        return;
+    assert(events_ != nullptr &&
+           "bind the event queue before rescheduling");
+    // Submission order reproduces the original scheduling order, so
+    // same-tick completions keep their FIFO sequence numbers.
+    for (InflightRequest &f : inflight_) {
+        f.client = client_of(f.req.core);
+        assert(f.client != nullptr);
+        scheduleCompletion(f.req, f.done, f.client);
+    }
 }
 
 void

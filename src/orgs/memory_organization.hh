@@ -21,10 +21,13 @@
 #ifndef CAMEO_ORGS_MEMORY_ORGANIZATION_HH
 #define CAMEO_ORGS_MEMORY_ORGANIZATION_HH
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "check/audit.hh"
+#include "snapshot/snapshot.hh"
 #include "core/cameo_controller.hh"
 #include "dram/dram_module.hh"
 #include "dram/queue_config.hh"
@@ -111,10 +114,10 @@ pageHeatKey(std::uint32_t core, PageAddr vpage)
 }
 
 /** Base class for all stacked-DRAM usage models. */
-class MemoryOrganization
+class MemoryOrganization : public Checkpointable
 {
   public:
-    virtual ~MemoryOrganization();
+    ~MemoryOrganization() override;
 
     MemoryOrganization(const MemoryOrganization &) = delete;
     MemoryOrganization &operator=(const MemoryOrganization &) = delete;
@@ -201,6 +204,30 @@ class MemoryOrganization
     /** Inject oracular page heat (TLM-Oracle only; others assert). */
     virtual void setPageHeat(PageHeatMap heat);
 
+    /**
+     * Checkpointable: the base serializes the transaction-id cursor,
+     * the in-flight (queued, undelivered) requests, and the DRAM
+     * modules. Concrete organizations override both, write their own
+     * mutable state, and chain to the base first so the byte layout is
+     * stable across the hierarchy.
+     */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
+    /**
+     * Re-schedule the completions of requests that were in flight when
+     * the snapshot was taken. Must be called after restore() and after
+     * bindEventQueue() (Queued mode with live requests only);
+     * @p client_of maps a core id to its completion receiver — restore
+     * assumes every in-flight request's client is its issuing core,
+     * which holds for System-driven runs.
+     */
+    void rescheduleInflight(
+        const std::function<MemClient *(std::uint32_t)> &client_of);
+
+    /** Number of submitted-but-undelivered requests (Queued mode). */
+    std::size_t inflightCount() const { return inflight_.size(); }
+
     const std::string &name() const { return name_; }
 
   protected:
@@ -217,10 +244,29 @@ class MemoryOrganization
     void applyTimingConfig(const OrgConfig &config);
 
   private:
+    /** A submitted request whose completion has not been delivered. */
+    struct InflightRequest
+    {
+        MemRequest req;
+        Tick done = 0;
+        MemClient *client = nullptr; ///< Not serialized; see restore().
+    };
+
+    /** Schedule @p client's completion on the bound event queue. */
+    void scheduleCompletion(const MemRequest &req, Tick done,
+                            MemClient *client);
+
     std::string name_;
     TimingMode timingMode_ = TimingMode::Blocking;
     EventQueue *events_ = nullptr;
     std::uint64_t lastRequestId_ = 0;
+
+    /**
+     * Submission-ordered registry of queued, undelivered requests —
+     * the serializable image of the kernel's pending completion
+     * events. Empty in Blocking mode.
+     */
+    std::vector<InflightRequest> inflight_;
 
 #if CAMEO_AUDIT_ENABLED
     /** Shadow accounting of every submitted transaction. */

@@ -80,4 +80,65 @@ TlmDynamicOrg::postAccess(Tick when, PageAddr phys_page,
     stackedLastUse_[victim_dev] = when;
 }
 
+void
+TlmRemapBase::save(SnapshotWriter &w) const
+{
+    MemoryOrganization::save(w);
+    w.vecU32(physToDev_);
+    w.vecU32(devToPhys_);
+}
+
+void
+TlmRemapBase::restore(SnapshotReader &r)
+{
+    MemoryOrganization::restore(r);
+    std::vector<std::uint32_t> p2d;
+    std::vector<std::uint32_t> d2p;
+    r.vecU32(p2d);
+    r.vecU32(d2p);
+    if (!r.ok())
+        return;
+    if (p2d.size() != physToDev_.size() || d2p.size() != devToPhys_.size()) {
+        r.fail("tlm: remap table size mismatch");
+        return;
+    }
+    physToDev_ = std::move(p2d);
+    devToPhys_ = std::move(d2p);
+}
+
+void
+TlmDynamicOrg::save(SnapshotWriter &w) const
+{
+    TlmRemapBase::save(w);
+    w.vecU64(stackedLastUse_);
+    w.vecU8(touchCount_);
+    for (const std::uint64_t s : rng_.state())
+        w.u64(s);
+    w.u64(lastAccessTick_);
+}
+
+void
+TlmDynamicOrg::restore(SnapshotReader &r)
+{
+    TlmRemapBase::restore(r);
+    std::vector<Tick> lastUse;
+    std::vector<std::uint8_t> touches;
+    r.vecU64(lastUse);
+    r.vecU8(touches);
+    if (!r.ok())
+        return;
+    if (lastUse.size() != stackedLastUse_.size() ||
+        touches.size() != touchCount_.size()) {
+        r.fail("tlm-dynamic: LRU/touch table size mismatch");
+        return;
+    }
+    stackedLastUse_ = std::move(lastUse);
+    touchCount_ = std::move(touches);
+    Rng::State rngState;
+    for (std::uint64_t &s : rngState)
+        s = r.u64();
+    rng_.setState(rngState);
+    lastAccessTick_ = r.u64();
+}
+
 } // namespace cameo

@@ -36,6 +36,10 @@ class TlmRemapBase : public TlmStaticOrg
         return devicePageOf(phys_page);
     }
 
+    /** Checkpointable: base state + both remap directions. */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   protected:
     std::uint64_t devicePageOf(PageAddr phys_page) const override;
 
@@ -61,6 +65,10 @@ class TlmDynamicOrg : public TlmRemapBase
 {
   public:
     explicit TlmDynamicOrg(const OrgConfig &config);
+
+    /** Checkpointable: remap state + LRU stamps, touch counters, RNG. */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
 
   protected:
     void postAccess(Tick when, PageAddr phys_page,

@@ -76,4 +76,31 @@ TlmFreqOrg::rebalance(Tick when)
         c >>= 1;
 }
 
+void
+TlmFreqOrg::save(SnapshotWriter &w) const
+{
+    TlmRemapBase::save(w);
+    w.u64(accessesThisEpoch_);
+    w.vecU32(pageCount_);
+    // epochs_ is unregistered telemetry; carry its value inline.
+    w.u64(epochs_.value());
+}
+
+void
+TlmFreqOrg::restore(SnapshotReader &r)
+{
+    TlmRemapBase::restore(r);
+    accessesThisEpoch_ = r.u64();
+    std::vector<std::uint32_t> counts;
+    r.vecU32(counts);
+    if (!r.ok())
+        return;
+    if (counts.size() != pageCount_.size()) {
+        r.fail("tlm-freq: page counter table size mismatch");
+        return;
+    }
+    pageCount_ = std::move(counts);
+    epochs_.restoreValue(r.u64());
+}
+
 } // namespace cameo

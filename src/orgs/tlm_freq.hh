@@ -26,6 +26,15 @@ class TlmFreqOrg : public TlmRemapBase
 
     const Counter &epochs() const { return epochs_; }
 
+    /**
+     * Checkpointable: remap state + epoch progress and per-page access
+     * counters. The epoch counter is intentionally unregistered
+     * (bench-local telemetry), so its value travels here rather than in
+     * the snapshot's stats section.
+     */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   protected:
     void postAccess(Tick when, PageAddr phys_page,
                     std::uint64_t device_page, bool is_write) override;

@@ -2,8 +2,50 @@
 
 #include <cassert>
 
+#include "snapshot/flat_map_io.hh"
+
 namespace cameo
 {
+
+namespace
+{
+
+/**
+ * Expose a priority_queue's protected underlying container. The heap
+ * must round-trip with its exact array layout — reconstructing via the
+ * (comparator, container) constructor re-heapifies, which can reorder
+ * tied entries and change future pop order — so save reads and restore
+ * writes the container directly.
+ */
+template <typename T, typename C, typename Cmp>
+const C &
+heapContainer(const std::priority_queue<T, C, Cmp> &q)
+{
+    struct Opener : std::priority_queue<T, C, Cmp>
+    {
+        static const C &get(const std::priority_queue<T, C, Cmp> &pq)
+        {
+            return pq.*&Opener::c;
+        }
+    };
+    return Opener::get(q);
+}
+
+template <typename T, typename C, typename Cmp>
+C &
+heapContainer(std::priority_queue<T, C, Cmp> &q)
+{
+    struct Opener : std::priority_queue<T, C, Cmp>
+    {
+        static C &get(std::priority_queue<T, C, Cmp> &pq)
+        {
+            return pq.*&Opener::c;
+        }
+    };
+    return Opener::get(q);
+}
+
+} // namespace
 
 TlmOracleOrg::TlmOracleOrg(const OrgConfig &config)
     : TlmRemapBase(config, "TLM-Oracle"), physHeat_(totalPages_, 0)
@@ -55,6 +97,54 @@ TlmOracleOrg::onPageMapped(std::uint32_t frame, std::uint32_t core,
         coldest_.emplace(h, phys_page);
         // cold_page is now off-chip; its stale entries are skipped.
     }
+}
+
+void
+TlmOracleOrg::save(SnapshotWriter &w) const
+{
+    TlmRemapBase::save(w);
+    w.vecU64(physHeat_);
+    const auto &heap = heapContainer(coldest_);
+    w.u64(heap.size());
+    for (const auto &[heat, page] : heap) {
+        w.u64(heat);
+        w.u64(page);
+    }
+    saveFlatMap(w, heat_);
+}
+
+void
+TlmOracleOrg::restore(SnapshotReader &r)
+{
+    TlmRemapBase::restore(r);
+    std::vector<std::uint64_t> heat;
+    r.vecU64(heat);
+    if (!r.ok())
+        return;
+    if (heat.size() != physHeat_.size()) {
+        r.fail("tlm-oracle: heat table size mismatch");
+        return;
+    }
+    physHeat_ = std::move(heat);
+    const std::uint64_t heapSize = r.u64();
+    // Lazy invalidation bounds the heap by total insertions, not live
+    // pages; cap it at something a sane run cannot exceed so corrupted
+    // sizes fail instead of allocating.
+    if (r.ok() && heapSize > (std::uint64_t{1} << 32)) {
+        r.fail("tlm-oracle: implausible coldest-heap size");
+        return;
+    }
+    std::vector<HeapEntry> heap;
+    heap.reserve(heapSize);
+    for (std::uint64_t i = 0; i < heapSize && r.ok(); ++i) {
+        const std::uint64_t h = r.u64();
+        const PageAddr page = r.u64();
+        heap.emplace_back(h, page);
+    }
+    if (!r.ok())
+        return;
+    heapContainer(coldest_) = std::move(heap);
+    restoreFlatMap(r, heat_, "oracle heat map");
 }
 
 } // namespace cameo

@@ -34,6 +34,14 @@ class TlmOracleOrg : public TlmRemapBase
     void onPageMapped(std::uint32_t frame, std::uint32_t core,
                       PageAddr vpage) override;
 
+    /**
+     * Checkpointable: remap state + per-frame heat, the coldest-heap's
+     * exact array layout (ties pop in layout order, so the heap must be
+     * restored verbatim, not re-heapified), and the injected heat map.
+     */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
   private:
     /** Heat of the OS-physical page currently at each frame. */
     std::vector<std::uint64_t> physHeat_;

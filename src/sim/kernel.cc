@@ -15,7 +15,7 @@ SimKernel::addAgent(Agent *agent)
 }
 
 Tick
-SimKernel::run(std::uint64_t max_steps)
+SimKernel::run(std::uint64_t max_steps, const std::function<bool()> &stop)
 {
     // Lazy-update binary heap keyed by (tick, agent index): after an
     // agent steps, push a fresh entry; stale entries are skipped when
@@ -24,19 +24,28 @@ SimKernel::run(std::uint64_t max_steps)
     std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                         std::greater<>> heap;
 
+    // Agents parked on a deferred completion (blocked() == true). An
+    // agent can already be blocked here when this run() continues a
+    // checkpointed one — route it to `parked`, not the heap, or the
+    // pop path would drop it without tracking it.
+    std::vector<std::size_t> parked;
+
     for (std::size_t i = 0; i < agents_.size(); ++i) {
-        if (!agents_[i]->done())
+        if (agents_[i]->done())
+            continue;
+        if (agents_[i]->blocked())
+            parked.push_back(i);
+        else
             heap.emplace(agents_[i]->nextReadyTick(), i);
     }
 
     stepsExecuted_ = 0;
     hitStepLimit_ = false;
+    stoppedEarly_ = false;
 #if CAMEO_AUDIT_ENABLED
     auditor_.reset();
 #endif
 
-    // Agents parked on a deferred completion (blocked() == true).
-    std::vector<std::size_t> parked;
     const auto unpark = [&] {
         for (std::size_t i = parked.size(); i-- > 0;) {
             const std::size_t idx = parked[i];
@@ -92,19 +101,29 @@ SimKernel::run(std::uint64_t max_steps)
             else
                 heap.emplace(agent->nextReadyTick(), idx);
         }
+        if (stop && stop()) {
+            // Checkpoint stop: leave pending events and agent state
+            // exactly mid-flight; a snapshot (or a later run()) picks
+            // up from here.
+            stoppedEarly_ = true;
+            break;
+        }
     }
 
-    // Deliver completions still in flight (agents issue their last
-    // misses and finish before the data returns) so finishTick() and
-    // the in-flight bookkeeping settle.
-    events_.runAll();
+    if (!stoppedEarly_) {
+        // Deliver completions still in flight (agents issue their last
+        // misses and finish before the data returns) so finishTick()
+        // and the in-flight bookkeeping settle.
+        events_.runAll();
+        for (const Agent *agent : agents_) {
+            if (!agent->done())
+                hitStepLimit_ = true;
+        }
+    }
 
     Tick finish = 0;
-    for (const Agent *agent : agents_) {
-        if (!agent->done())
-            hitStepLimit_ = true;
+    for (const Agent *agent : agents_)
         finish = std::max(finish, agent->nextReadyTick());
-    }
     return finish;
 }
 

@@ -15,6 +15,7 @@
 #define CAMEO_SIM_KERNEL_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "check/audit.hh"
@@ -79,8 +80,17 @@ class SimKernel
      * reached) is flagged via hitStepLimit(); callers that pass a limit
      * should check it, because the returned "completion" time of a
      * truncated run understates the real one.
+     *
+     * When @p stop is non-empty it is evaluated after every agent step;
+     * once it returns true the kernel breaks immediately — without
+     * draining pending events and without computing hitStepLimit() —
+     * leaving the system mid-flight for a checkpoint. Such a run is
+     * flagged via stoppedEarly() and can be continued by calling run()
+     * again: the dispatch heap is rebuilt from the agents' live state
+     * (blocked agents are parked, not lost).
      */
-    Tick run(std::uint64_t max_steps = ~std::uint64_t{0});
+    Tick run(std::uint64_t max_steps = ~std::uint64_t{0},
+             const std::function<bool()> &stop = {});
 
     /** Agent steps executed by the most recent run(). */
     std::uint64_t stepsExecuted() const { return stepsExecuted_; }
@@ -90,6 +100,9 @@ class SimKernel
      * at least one agent not done — i.e. the result was truncated.
      */
     bool hitStepLimit() const { return hitStepLimit_; }
+
+    /** True when the most recent run() broke on its stop predicate. */
+    bool stoppedEarly() const { return stoppedEarly_; }
 
     std::size_t numAgents() const { return agents_.size(); }
 
@@ -108,6 +121,7 @@ class SimKernel
     EventQueue events_;
     std::uint64_t stepsExecuted_ = 0;
     bool hitStepLimit_ = false;
+    bool stoppedEarly_ = false;
 
 #if CAMEO_AUDIT_ENABLED
     /** Checks dispatch-order and local-clock monotonicity per run. */

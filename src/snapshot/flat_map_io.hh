@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Snapshot serialization helpers for FlatMap-based containers.
+ *
+ * The maps are serialized at exact slot granularity — slot index, key,
+ * value for every occupied slot, plus the table's slot count — rather
+ * than as a key/value set. Re-inserting the same set into a fresh map
+ * would reproduce the entries but not necessarily the probe-chain
+ * displacement produced by the original insert/erase history, and
+ * iteration order (which simulation code may observe) would drift. The
+ * exact layout makes save -> restore -> save byte-identical.
+ */
+
+#ifndef CAMEO_SNAPSHOT_FLAT_MAP_IO_HH
+#define CAMEO_SNAPSHOT_FLAT_MAP_IO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "snapshot/snapshot.hh"
+#include "util/flat_map.hh"
+
+namespace cameo
+{
+
+/** Serialize @p map's exact slot layout (occupied slots only). */
+template <typename Map>
+void
+saveFlatMap(SnapshotWriter &w, const Map &map)
+{
+    w.u64(map.capacity());
+    w.u64(map.size());
+    for (std::size_t i = 0; i < map.capacity(); ++i) {
+        if (!map.slotOccupied(i))
+            continue;
+        w.u64(i);
+        w.u64(static_cast<std::uint64_t>(map.slotAt(i).first));
+        w.u64(static_cast<std::uint64_t>(map.slotAt(i).second));
+    }
+}
+
+/**
+ * Restore @p map from a saveFlatMap image. @p what names the container
+ * in error messages. Structural defects (non-power-of-two slot count,
+ * out-of-range or duplicate slot index) flag @p r.
+ */
+template <typename Map>
+void
+restoreFlatMap(SnapshotReader &r, Map &map, const char *what)
+{
+    const std::uint64_t slots = r.u64();
+    const std::uint64_t entries = r.u64();
+    if (!r.ok())
+        return;
+    if (slots != 0 && (slots & (slots - 1)) != 0) {
+        r.fail(std::string("snapshot: ") + what + " slot count " +
+               std::to_string(slots) + " is not a power of two");
+        return;
+    }
+    if (entries > slots) {
+        r.fail(std::string("snapshot: ") + what + " has more entries (" +
+               std::to_string(entries) + ") than slots (" +
+               std::to_string(slots) + ")");
+        return;
+    }
+    map.restoreLayout(static_cast<std::size_t>(slots));
+    for (std::uint64_t i = 0; i < entries && r.ok(); ++i) {
+        const std::uint64_t idx = r.u64();
+        const std::uint64_t key = r.u64();
+        const std::uint64_t value = r.u64();
+        if (idx >= slots ||
+            map.slotOccupied(static_cast<std::size_t>(idx))) {
+            r.fail(std::string("snapshot: ") + what + " slot index " +
+                   std::to_string(idx) + " is out of range or reused");
+            return;
+        }
+        using Value = typename Map::value_type::second_type;
+        map.placeSlot(static_cast<std::size_t>(idx),
+                      static_cast<typename Map::value_type::first_type>(
+                          key),
+                      static_cast<Value>(value));
+    }
+}
+
+} // namespace cameo
+
+#endif // CAMEO_SNAPSHOT_FLAT_MAP_IO_HH

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Versioned, sectioned, CRC-guarded binary snapshots of simulator
+ * state.
+ *
+ * A snapshot is a flat byte buffer: a fixed header (magic + format
+ * version + section count) followed by named sections. Each section
+ * carries its own length and a CRC-32 over its payload, so corruption
+ * and truncation are pinpointed to a byte offset at open time —
+ * mirroring the validatePackedTrace error style — before any component
+ * sees a single field. Sections are entered strictly in the order they
+ * were written: the reader refuses out-of-order access, which is what
+ * makes save -> restore -> save produce byte-identical output (the
+ * round-trip property the differential tests pin down).
+ *
+ * All integers are little-endian and written through explicit
+ * byte-shifting, so snapshots are portable across hosts regardless of
+ * native endianness or struct layout. Floating-point values travel as
+ * IEEE-754 bit patterns.
+ *
+ * What is deliberately NOT serialized (see DESIGN.md §12): derived or
+ * reconstructible state such as refill-ring contents (recreate the
+ * source and skip() to the cursor), TLB entries (host-side telemetry;
+ * restored cold), and audit shadow state (resynchronized from the
+ * restored structures).
+ */
+
+#ifndef CAMEO_SNAPSHOT_SNAPSHOT_HH
+#define CAMEO_SNAPSHOT_SNAPSHOT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cameo
+{
+
+/** First 8 bytes of every snapshot file. */
+inline constexpr char kSnapshotMagic[8] = {'C', 'A', 'M', 'E',
+                                           'O', 'S', 'N', 'P'};
+
+/**
+ * Format version. Bump on ANY layout change — field added, removed,
+ * reordered, or re-typed in any section — and regenerate the committed
+ * golden snapshot (CAMEO_UPDATE_GOLDEN=1, see tests/test_snapshot.cc).
+ * Readers reject any other version outright; there is no migration.
+ */
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/** CRC-32 (IEEE 802.3, reflected 0xEDB88320) over @p n bytes. */
+std::uint32_t snapshotCrc32(const void *data, std::size_t n);
+
+/**
+ * Serializer producing the snapshot byte buffer.
+ *
+ * Usage: beginSection("name"), typed writes, endSection(), repeated;
+ * then finish() (or writeFile()) to obtain the framed buffer. Sections
+ * cannot nest. Writers are single-use.
+ */
+class SnapshotWriter
+{
+  public:
+    SnapshotWriter() = default;
+
+    void beginSection(std::string_view name);
+    void endSection();
+
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void b(bool v) { u8(v ? 1 : 0); }
+    void f64(double v);
+    /** Length-prefixed UTF-8 string (u32 length). */
+    void str(std::string_view s);
+    /** Raw bytes, no length prefix (caller wrote the count). */
+    void bytes(const void *data, std::size_t n);
+
+    void vecU8(const std::vector<std::uint8_t> &v);
+    void vecU32(const std::vector<std::uint32_t> &v);
+    void vecU64(const std::vector<std::uint64_t> &v);
+
+    /** Frame header + sections into the final buffer. */
+    std::vector<std::uint8_t> finish();
+
+    /** finish() and write to @p path; false + message on I/O error. */
+    bool writeFile(const std::string &path, std::string *error = nullptr);
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::uint64_t payloadBegin = 0; ///< Offset into payload_.
+        std::uint64_t payloadEnd = 0;
+    };
+
+    std::vector<std::uint8_t> payload_; ///< Concatenated payloads.
+    std::vector<Section> sections_;
+    bool inSection_ = false;
+    bool finished_ = false;
+};
+
+/**
+ * Deserializer over a snapshot byte buffer.
+ *
+ * open() validates the whole frame up front — magic, version, section
+ * framing, payload CRCs — and reports the first problem with its byte
+ * offset. After a successful open, components call enterSection() (in
+ * exactly the order the sections were written), typed reads, then
+ * leaveSection(), which verifies the payload was consumed exactly.
+ *
+ * Error handling is by sticky flag, not exceptions: the first failure
+ * latches error(); every later read returns zero and every later call
+ * is a no-op, so restore code can run straight through and check ok()
+ * once at the end. Components flag semantic mismatches (wrong org,
+ * wrong geometry) through fail().
+ */
+class SnapshotReader
+{
+  public:
+    SnapshotReader() = default;
+
+    /** Parse + validate @p data. False (with error()) on any defect. */
+    bool open(std::vector<std::uint8_t> data);
+
+    /** Read @p path fully, then open(). */
+    bool openFile(const std::string &path);
+
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+    std::uint32_t version() const { return version_; }
+    std::size_t sectionCount() const { return sections_.size(); }
+
+    /** Record a failure; first message wins, later ones are dropped. */
+    void fail(const std::string &what);
+
+    /** Enter the next section; fails unless its name is @p name. */
+    bool enterSection(std::string_view name);
+    /** Leave the section; fails if payload bytes remain unread. */
+    bool leaveSection();
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    bool b() { return u8() != 0; }
+    double f64();
+    std::string str();
+    void bytesInto(void *out, std::size_t n);
+
+    void vecU8(std::vector<std::uint8_t> &out);
+    void vecU32(std::vector<std::uint32_t> &out);
+    void vecU64(std::vector<std::uint64_t> &out);
+
+  private:
+    struct Section
+    {
+        std::string name;
+        std::uint64_t begin = 0; ///< Absolute payload offset in data_.
+        std::uint64_t end = 0;
+    };
+
+    bool overrun(std::size_t n);
+
+    std::vector<std::uint8_t> data_;
+    std::vector<Section> sections_;
+    std::size_t nextSection_ = 0;
+    std::size_t cursor_ = 0; ///< Absolute offset of the next read.
+    std::uint64_t sectionEnd_ = 0;
+    bool inSection_ = false;
+    std::uint32_t version_ = 0;
+    std::string error_;
+    std::string currentName_;
+};
+
+/**
+ * Implemented by every module whose state a System snapshot covers.
+ * Contract: restore() consumes exactly the bytes save() wrote, fields
+ * in the same order, and flags structural mismatches via
+ * SnapshotReader::fail() instead of applying partial state.
+ */
+class Checkpointable
+{
+  public:
+    virtual ~Checkpointable() = default;
+    virtual void save(SnapshotWriter &w) const = 0;
+    virtual void restore(SnapshotReader &r) = 0;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_SNAPSHOT_SNAPSHOT_HH

@@ -35,6 +35,9 @@ class Counter
     void inc(std::uint64_t amount = 1) { value_ += amount; }
     void reset() { value_ = 0; }
 
+    /** Overwrite the value from a snapshot (checkpoint restore only). */
+    void restoreValue(std::uint64_t v) { value_ = v; }
+
     std::uint64_t value() const { return value_; }
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }

@@ -43,6 +43,23 @@ Distribution::reset()
     std::fill(buckets_.begin(), buckets_.end(), 0);
 }
 
+bool
+Distribution::restoreState(const std::vector<std::uint64_t> &buckets,
+                           std::uint64_t overflow, std::uint64_t count,
+                           std::uint64_t sum, std::uint64_t min,
+                           std::uint64_t max)
+{
+    if (buckets.size() != buckets_.size())
+        return false;
+    buckets_ = buckets;
+    overflow_ = overflow;
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+    return true;
+}
+
 double
 Distribution::mean() const
 {

@@ -63,6 +63,17 @@ class Distribution
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
+    /**
+     * Overwrite sample state from a snapshot (checkpoint restore only).
+     * @p buckets must match the configured bucket count — the histogram
+     * shape is structural (it comes from the constructor), only the
+     * tallies are data. Returns false on a shape mismatch.
+     */
+    bool restoreState(const std::vector<std::uint64_t> &buckets,
+                      std::uint64_t overflow, std::uint64_t count,
+                      std::uint64_t sum, std::uint64_t min,
+                      std::uint64_t max);
+
   private:
     std::string name_;
     std::string desc_;

@@ -68,6 +68,84 @@ StatRegistry::resetAll()
 }
 
 void
+StatRegistry::save(SnapshotWriter &w) const
+{
+    w.u64(counters_.size());
+    for (const Counter *c : counters_) {
+        w.str(c->name());
+        w.u64(c->value());
+    }
+    w.u64(dists_.size());
+    for (const Distribution *d : dists_) {
+        w.str(d->name());
+        w.vecU64(d->buckets());
+        w.u64(d->overflow());
+        w.u64(d->count());
+        w.u64(d->sum());
+        w.u64(d->minValue());
+        w.u64(d->maxValue());
+    }
+}
+
+void
+StatRegistry::restore(SnapshotReader &r)
+{
+    const std::uint64_t nCounters = r.u64();
+    if (nCounters != counters_.size()) {
+        r.fail("stats: snapshot has " + std::to_string(nCounters) +
+               " counters, this system registers " +
+               std::to_string(counters_.size()));
+        return;
+    }
+    for (Counter *c : counters_) {
+        const std::string name = r.str();
+        const std::uint64_t value = r.u64();
+        if (!r.ok())
+            return;
+        if (name != c->name()) {
+            r.fail("stats: counter order mismatch: snapshot has '" +
+                   name + "', this system registers '" + c->name() +
+                   "'");
+            return;
+        }
+        c->restoreValue(value);
+    }
+    const std::uint64_t nDists = r.u64();
+    if (nDists != dists_.size()) {
+        r.fail("stats: snapshot has " + std::to_string(nDists) +
+               " distributions, this system registers " +
+               std::to_string(dists_.size()));
+        return;
+    }
+    for (Distribution *d : dists_) {
+        const std::string name = r.str();
+        std::vector<std::uint64_t> buckets;
+        r.vecU64(buckets);
+        const std::uint64_t overflow = r.u64();
+        const std::uint64_t count = r.u64();
+        const std::uint64_t sum = r.u64();
+        const std::uint64_t min = r.u64();
+        const std::uint64_t max = r.u64();
+        if (!r.ok())
+            return;
+        if (name != d->name()) {
+            r.fail("stats: distribution order mismatch: snapshot has '" +
+                   name + "', this system registers '" + d->name() +
+                   "'");
+            return;
+        }
+        if (!d->restoreState(buckets, overflow, count, sum, min, max)) {
+            r.fail("stats: distribution '" + name + "' has " +
+                   std::to_string(buckets.size()) +
+                   " buckets in the snapshot, " +
+                   std::to_string(d->buckets().size()) +
+                   " in this system");
+            return;
+        }
+    }
+}
+
+void
 StatRegistry::dump(std::ostream &os) const
 {
     for (const Counter *c : counters_) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "check/audit.hh"
+#include "snapshot/snapshot.hh"
 #include "stats/counter.hh"
 #include "stats/distribution.hh"
 #if CAMEO_AUDIT_ENABLED
@@ -80,6 +81,19 @@ class StatRegistry
     {
         return dists_;
     }
+
+    /**
+     * Serialize every registered statistic (names + values, in
+     * registration order) into one snapshot section payload.
+     */
+    void save(SnapshotWriter &w) const;
+
+    /**
+     * Restore values into the already-registered statistics. The
+     * registered set is structural (it comes from System construction):
+     * any count, name, or histogram-shape mismatch flags @p r.
+     */
+    void restore(SnapshotReader &r);
 
   private:
     std::vector<Counter *> counters_;

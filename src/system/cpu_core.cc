@@ -173,6 +173,106 @@ CpuCore::fetchAccess()
     return ring_[ringPos_++];
 }
 
+void
+CpuCore::save(SnapshotWriter &w) const
+{
+    w.u64(clock_);
+    w.u64(lastMissComplete_);
+    w.vecU64(outstanding_);
+    w.u32(unresolved_);
+    w.u64(lastLoadTag_);
+    w.u64(nextLoadTag_);
+    w.b(lastLoadResolved_);
+    w.u8(static_cast<std::uint8_t>(blockReason_));
+    w.b(inflight_.has_value());
+    if (inflight_) {
+        w.u64(inflight_->acc.pc);
+        w.u64(inflight_->acc.vaddr);
+        w.b(inflight_->acc.isWrite);
+        w.b(inflight_->acc.dependsOnPrev);
+        w.u32(inflight_->acc.gapInstructions);
+        w.u32(inflight_->frame);
+        w.u8(static_cast<std::uint8_t>(inflight_->stage));
+    }
+    w.b(pendingMiss_.has_value());
+    if (pendingMiss_) {
+        w.u64(pendingMiss_->line);
+        w.u64(pendingMiss_->pc);
+        w.b(pendingMiss_->isLoad);
+    }
+    w.u64(processed_);
+    w.u64(instructions_);
+}
+
+void
+CpuCore::restore(SnapshotReader &r)
+{
+    clock_ = r.u64();
+    lastMissComplete_ = r.u64();
+    r.vecU64(outstanding_);
+    if (r.ok() && outstanding_.size() > mlp_) {
+        r.fail("core: more outstanding misses than the miss window holds");
+        return;
+    }
+    unresolved_ = r.u32();
+    if (r.ok() && outstanding_.size() + unresolved_ > mlp_) {
+        r.fail("core: miss window overcommitted in snapshot");
+        return;
+    }
+    lastLoadTag_ = r.u64();
+    nextLoadTag_ = r.u64();
+    lastLoadResolved_ = r.b();
+    const std::uint8_t reason = r.u8();
+    if (r.ok() &&
+        reason > static_cast<std::uint8_t>(BlockReason::Dependence)) {
+        r.fail("core: invalid block reason in snapshot");
+        return;
+    }
+    blockReason_ = static_cast<BlockReason>(reason);
+    inflight_.reset();
+    if (r.b()) {
+        InFlight f;
+        f.acc.pc = r.u64();
+        f.acc.vaddr = r.u64();
+        f.acc.isWrite = r.b();
+        f.acc.dependsOnPrev = r.b();
+        f.acc.gapInstructions = r.u32();
+        f.frame = r.u32();
+        const std::uint8_t stage = r.u8();
+        if (r.ok() &&
+            stage > static_cast<std::uint8_t>(Stage::NeedFinish)) {
+            r.fail("core: invalid in-flight stage in snapshot");
+            return;
+        }
+        f.stage = static_cast<Stage>(stage);
+        inflight_ = f;
+    }
+    pendingMiss_.reset();
+    if (r.b()) {
+        PendingMiss miss{};
+        miss.line = r.u64();
+        miss.pc = r.u64();
+        miss.isLoad = r.b();
+        pendingMiss_ = miss;
+    }
+    processed_ = r.u64();
+    instructions_ = r.u64();
+    if (!r.ok())
+        return;
+    if (processed_ > numAccesses_) {
+        r.fail("core: snapshot processed " + std::to_string(processed_) +
+               " accesses but this core is configured for only " +
+               std::to_string(numAccesses_));
+        return;
+    }
+    // The source is freshly constructed (and already past any warmup
+    // skip): advance it to the trace cursor and start the ring empty —
+    // the next fetchAccess() refills from record processed_.
+    source_->skip(processed_);
+    ringPos_ = 0;
+    ringLen_ = 0;
+}
+
 Tick
 CpuCore::finishTick() const
 {

@@ -92,6 +92,19 @@ class CpuCore : public Agent, public MemClient
     std::uint64_t instructions() const { return instructions_; }
     std::uint64_t accesses() const { return processed_; }
 
+    /**
+     * Checkpoint the core's architectural progress: clock, miss window,
+     * dependence state, the in-flight access, and the trace cursor. The
+     * refill ring is NOT serialized — batch boundaries never change the
+     * record stream (AccessSource contract), so restore() rewinds the
+     * ring and fast-forwards the freshly constructed source by
+     * processed_ records instead. A snapshot may be restored into a
+     * core configured for a LONGER trace (warm-start fan-out): the only
+     * requirement checked is processed_ <= numAccesses_.
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
   private:
     /** Progress of the access currently being processed. */
     enum class Stage

@@ -42,6 +42,10 @@ class Llc
         cache_.registerStats(registry);
     }
 
+    /** Checkpoint/restore pass-through to the underlying cache. */
+    void save(SnapshotWriter &w) const { cache_.save(w); }
+    void restore(SnapshotReader &r) { cache_.restore(r); }
+
     SetAssocCache &cache() { return cache_; }
 
   private:

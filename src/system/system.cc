@@ -130,28 +130,84 @@ System::System(const SystemConfig &config, OrgKind kind,
     org_->registerStats(registry_);
     vm_->registerStats(registry_);
     llc_->registerStats(registry_);
+
+    for (auto &core : cores_)
+        kernel_.addAgent(core.get());
+}
+
+void
+System::bindEvents()
+{
+    // Queued timing: miss completions travel through the kernel's
+    // event queue for the duration of the run.
+    if (config_.timingMode == TimingMode::Queued && !eventsBound_) {
+        org_->bindEventQueue(&kernel_.events());
+        eventsBound_ = true;
+    }
+}
+
+void
+System::unbindEvents()
+{
+    if (eventsBound_) {
+        org_->bindEventQueue(nullptr);
+        eventsBound_ = false;
+    }
+}
+
+void
+System::runSegment(std::uint64_t target_accesses)
+{
+    bindEvents();
+    std::uint64_t budget = ~std::uint64_t{0};
+    if (config_.maxKernelSteps != 0) {
+        budget = config_.maxKernelSteps > kernelSteps_
+                     ? config_.maxKernelSteps - kernelSteps_
+                     : 0;
+    }
+    std::function<bool()> stop;
+    if (target_accesses != kNoTarget) {
+        stop = [this, target_accesses] {
+            return totalAccesses() >= target_accesses;
+        };
+    }
+    kernel_.run(budget, stop);
+    kernelSteps_ += kernel_.stepsExecuted();
+    if (!kernel_.stoppedEarly()) {
+        // The segment ran to completion (or its step budget): the
+        // pipeline is drained, so the end-of-run audits may fire.
+        truncated_ = truncated_ || kernel_.hitStepLimit();
+        unbindEvents();
+    }
+}
+
+std::uint64_t
+System::totalAccesses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core->accesses();
+    return total;
+}
+
+bool
+System::runUntil(std::uint64_t total_accesses)
+{
+    assert(!finished_ && "System already ran to completion");
+    runSegment(total_accesses);
+    return kernel_.stoppedEarly();
 }
 
 RunResult
 System::run()
 {
-    assert(!ran_ && "System::run may be called once");
-    ran_ = true;
-
-    SimKernel kernel;
-    for (auto &core : cores_)
-        kernel.addAgent(core.get());
-    // Queued timing: miss completions travel through the kernel's
-    // event queue for the duration of the run.
-    if (config_.timingMode == TimingMode::Queued)
-        org_->bindEventQueue(&kernel.events());
-    kernel.run(config_.maxKernelSteps != 0 ? config_.maxKernelSteps
-                                           : ~std::uint64_t{0});
-    org_->bindEventQueue(nullptr);
+    assert(!finished_ && "System::run may be called once");
+    runSegment(kNoTarget);
+    finished_ = true;
 
     RunResult r;
-    r.kernelSteps = kernel.stepsExecuted();
-    r.truncated = kernel.hitStepLimit();
+    r.kernelSteps = kernelSteps_;
+    r.truncated = truncated_;
     r.orgName = org_->name();
     if (profiles_.size() == 1) {
         r.workload = profiles_[0].name;
@@ -201,6 +257,202 @@ System::run()
         r.pageMigrations = migrations->value();
     }
     return r;
+}
+
+void
+System::save(SnapshotWriter &w) const
+{
+    w.beginSection("meta");
+    w.u8(static_cast<std::uint8_t>(kind_));
+    w.u8(static_cast<std::uint8_t>(config_.timingMode));
+    w.u32(config_.numCores);
+    w.u64(config_.seed);
+    w.u64(config_.warmupAccessesPerCore);
+    w.u64(config_.accessesPerCore);
+    w.u64(config_.stackedBytes);
+    w.u64(config_.offchipBytes);
+    w.u64(config_.l3Bytes);
+    w.u32(config_.l3Ways);
+    w.f64(config_.scaleFactor);
+    w.u32(static_cast<std::uint32_t>(profiles_.size()));
+    for (const WorkloadProfile &p : profiles_)
+        w.str(p.name);
+    w.u64(kernelSteps_);
+    w.endSection();
+
+    w.beginSection("stats");
+    registry_.save(w);
+    w.endSection();
+
+    w.beginSection("vm");
+    vm_->save(w);
+    w.endSection();
+
+    w.beginSection("llc");
+    llc_->save(w);
+    w.endSection();
+
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        w.beginSection("core." + std::to_string(c));
+        cores_[c]->save(w);
+        w.endSection();
+    }
+
+    w.beginSection("org");
+    org_->save(w);
+    w.endSection();
+}
+
+void
+System::restore(SnapshotReader &r)
+{
+    assert(kernelSteps_ == 0 && !finished_ &&
+           "restore only into a freshly constructed System");
+
+    if (!r.enterSection("meta"))
+        return;
+    const auto kind = static_cast<OrgKind>(r.u8());
+    const auto mode = static_cast<TimingMode>(r.u8());
+    const std::uint32_t cores = r.u32();
+    const std::uint64_t seed = r.u64();
+    const std::uint64_t warmup = r.u64();
+    const std::uint64_t accesses = r.u64();
+    const std::uint64_t stackedBytes = r.u64();
+    const std::uint64_t offchipBytes = r.u64();
+    const std::uint64_t l3Bytes = r.u64();
+    const std::uint32_t l3Ways = r.u32();
+    const double scale = r.f64();
+    const std::uint32_t nProfiles = r.u32();
+    std::vector<std::string> names;
+    for (std::uint32_t i = 0; i < nProfiles && r.ok(); ++i)
+        names.push_back(r.str());
+    const std::uint64_t steps = r.u64();
+    if (!r.leaveSection())
+        return;
+
+    if (kind != kind_) {
+        r.fail(std::string("system: snapshot was taken of a ") +
+               orgKindName(kind) + " organization, this system is " +
+               orgKindName(kind_));
+        return;
+    }
+    if (mode != config_.timingMode) {
+        r.fail("system: timing mode differs between snapshot and config");
+        return;
+    }
+    if (cores != config_.numCores) {
+        r.fail("system: core count mismatch: snapshot has " +
+               std::to_string(cores) + ", config has " +
+               std::to_string(config_.numCores));
+        return;
+    }
+    if (seed != config_.seed) {
+        r.fail("system: seed mismatch (streams would diverge)");
+        return;
+    }
+    if (warmup != config_.warmupAccessesPerCore) {
+        r.fail("system: warmup length mismatch (streams would diverge)");
+        return;
+    }
+    if (accesses > config_.accessesPerCore) {
+        r.fail("system: snapshot was taken of a longer run (" +
+               std::to_string(accesses) + " accesses/core) than this "
+               "config's " + std::to_string(config_.accessesPerCore));
+        return;
+    }
+    if (stackedBytes != config_.stackedBytes ||
+        offchipBytes != config_.offchipBytes ||
+        l3Bytes != config_.l3Bytes || l3Ways != config_.l3Ways) {
+        r.fail("system: memory geometry mismatch");
+        return;
+    }
+    if (scale != config_.scaleFactor) {
+        r.fail("system: scale factor mismatch (streams would diverge)");
+        return;
+    }
+    if (names.size() != profiles_.size()) {
+        r.fail("system: workload mix size mismatch");
+        return;
+    }
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] != profiles_[i].name) {
+            r.fail("system: workload mismatch: snapshot ran '" +
+                   names[i] + "', this system runs '" +
+                   profiles_[i].name + "'");
+            return;
+        }
+    }
+    kernelSteps_ = steps;
+
+    if (!r.enterSection("stats"))
+        return;
+    registry_.restore(r);
+    if (!r.leaveSection())
+        return;
+
+    if (!r.enterSection("vm"))
+        return;
+    vm_->restore(r);
+    if (!r.leaveSection())
+        return;
+
+    if (!r.enterSection("llc"))
+        return;
+    llc_->restore(r);
+    if (!r.leaveSection())
+        return;
+
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        if (!r.enterSection("core." + std::to_string(c)))
+            return;
+        cores_[c]->restore(r);
+        if (!r.leaveSection())
+            return;
+    }
+
+    if (!r.enterSection("org"))
+        return;
+    org_->restore(r);
+    if (!r.leaveSection())
+        return;
+    if (!r.ok())
+        return;
+
+    // Queued mode with transactions mid-flight: re-arm their completion
+    // events on the (fresh) kernel queue in original submission order.
+    if (org_->inflightCount() > 0) {
+        bindEvents();
+        org_->rescheduleInflight([this](std::uint32_t c) -> MemClient * {
+            assert(c < cores_.size());
+            return cores_[c].get();
+        });
+    }
+}
+
+bool
+System::saveSnapshot(const std::string &path, std::string *error) const
+{
+    SnapshotWriter w;
+    save(w);
+    return w.writeFile(path, error);
+}
+
+bool
+System::restoreSnapshot(const std::string &path, std::string *error)
+{
+    SnapshotReader r;
+    if (r.openFile(path)) {
+        restore(r);
+        // A clean restore must consume every section the file carries.
+        if (r.ok() && r.sectionCount() != 5 + cores_.size())
+            r.fail("system: snapshot carries unconsumed sections");
+    }
+    if (!r.ok()) {
+        if (error != nullptr)
+            *error = r.error();
+        return false;
+    }
+    return true;
 }
 
 RunResult

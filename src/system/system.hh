@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "orgs/memory_organization.hh"
+#include "sim/kernel.hh"
+#include "snapshot/snapshot.hh"
 #include "stats/registry.hh"
 #include "system/config.hh"
 #include "system/cpu_core.hh"
@@ -111,8 +113,46 @@ class System
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
-    /** Run to completion and collect results. Call once. */
+    /**
+     * Run (the rest of) the simulation to completion and collect
+     * results. May follow any number of runUntil() segments and/or a
+     * restore(); the result is bit-identical to an uninterrupted run.
+     * Call once.
+     */
     RunResult run();
+
+    /**
+     * Run until the cores have processed @p total_accesses measured
+     * accesses in aggregate (across all cores), then pause with the
+     * memory system mid-flight — the natural point to save() a
+     * checkpoint. Returns true if the target paused the run, false if
+     * every core finished first.
+     */
+    bool runUntil(std::uint64_t total_accesses);
+
+    /** Measured accesses processed so far, summed over cores. */
+    std::uint64_t totalAccesses() const;
+
+    /**
+     * Serialize the full simulation state as snapshot sections:
+     * "meta" (configuration fingerprint, verified on restore), "stats"
+     * (every registered counter/distribution), "vm", "llc", "core.N"
+     * per core, and "org" (organization + DRAM modules + in-flight
+     * transactions). Restoring into a freshly constructed System with
+     * the same configuration and then running to completion produces
+     * byte-identical statistics to the uninterrupted run. The restoring
+     * config may enlarge accessesPerCore (warm-start fan-out).
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+
+    /** save() framed and written to @p path; false + message on error. */
+    bool saveSnapshot(const std::string &path,
+                      std::string *error = nullptr) const;
+
+    /** Read @p path, validate, restore(); false + message on error. */
+    bool restoreSnapshot(const std::string &path,
+                         std::string *error = nullptr);
 
     MemoryOrganization &org() { return *org_; }
     VirtualMemory &vm() { return *vm_; }
@@ -126,6 +166,23 @@ class System
         return profiles_[c % profiles_.size()];
     }
 
+    /**
+     * Bind the organization to the kernel's event queue (Queued mode)
+     * if not already bound / unbind it (flushes the drained-queue
+     * audit). Binding is lazy so a checkpointed system keeps its
+     * pipeline live between segments.
+     */
+    void bindEvents();
+    void unbindEvents();
+
+    /**
+     * One kernel segment: run until all cores finish, the remaining
+     * step budget is exhausted, or (when not kNoTarget) the aggregate
+     * processed-access target is reached.
+     */
+    static constexpr std::uint64_t kNoTarget = ~std::uint64_t{0};
+    void runSegment(std::uint64_t target_accesses);
+
     SystemConfig config_;
     OrgKind kind_;
     std::vector<WorkloadProfile> profiles_;
@@ -135,7 +192,14 @@ class System
     std::unique_ptr<Llc> llc_;
     std::vector<std::unique_ptr<CpuCore>> cores_;
     StatRegistry registry_;
-    bool ran_ = false;
+
+    SimKernel kernel_;
+    bool eventsBound_ = false;
+
+    /** Agent steps accumulated across segments (and via restore()). */
+    std::uint64_t kernelSteps_ = 0;
+    bool truncated_ = false;
+    bool finished_ = false;
 };
 
 /** Convenience: build a System and run it. */

@@ -226,6 +226,41 @@ class FlatMap
     /** Current slot count (diagnostics; 0 until the first insert). */
     std::size_t capacity() const { return slots_.size(); }
 
+    /**
+     * Exact-slot-layout access for checkpoint/restore. Serializing the
+     * physical slot layout (not just the key/value set) keeps probe
+     * chains — and therefore iteration order and future displacement
+     * behavior — bit-identical after a restore, which the
+     * save->restore->save round-trip property requires.
+     */
+    bool slotOccupied(std::size_t idx) const
+    {
+        return slots_[idx].occupied;
+    }
+    const value_type &slotAt(std::size_t idx) const
+    {
+        return slots_[idx].kv;
+    }
+
+    /** Drop contents and size the table to @p slot_count empty slots. */
+    void restoreLayout(std::size_t slot_count)
+    {
+        assert(slot_count == 0 || isPowerOfTwo(slot_count));
+        slots_.assign(slot_count, Slot{});
+        size_ = 0;
+    }
+
+    /** Place an entry at an exact slot (restoreLayout'd table only). */
+    void placeSlot(std::size_t idx, const Key &key, const Value &value)
+    {
+        Slot &slot = slots_[idx];
+        assert(!slot.occupied);
+        slot.occupied = true;
+        slot.kv.first = key;
+        slot.kv.second = value;
+        ++size_;
+    }
+
     iterator begin() { return iterator(slots_.data(), slotsEnd()); }
     iterator end() { return iterator(slotsEnd(), slotsEnd()); }
     const_iterator begin() const
@@ -330,6 +365,10 @@ class FlatSet
     void clear() { map_.clear(); }
     std::size_t size() const { return map_.size(); }
     bool empty() const { return map_.empty(); }
+
+    /** Underlying map, for exact-layout checkpoint/restore. */
+    FlatMap<Key, std::uint8_t, Hash> &raw() { return map_; }
+    const FlatMap<Key, std::uint8_t, Hash> &raw() const { return map_; }
 
   private:
     FlatMap<Key, std::uint8_t, Hash> map_;

@@ -58,8 +58,16 @@ class Rng
      */
     std::uint64_t geometric(double mean);
 
+    /**
+     * Raw generator state, exposed for checkpoint/restore. A restored
+     * state resumes the exact draw sequence of the saved generator.
+     */
+    using State = std::array<std::uint64_t, 4>;
+    const State &state() const { return state_; }
+    void setState(const State &s) { state_ = s; }
+
   private:
-    std::array<std::uint64_t, 4> state_;
+    State state_;
 };
 
 /**

@@ -101,4 +101,52 @@ FrameAllocator::registerStats(StatRegistry &registry)
     registry.add(clockSweeps_);
 }
 
+void
+FrameAllocator::save(SnapshotWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(frames_.size()));
+    for (const Frame &f : frames_) {
+        w.b(f.valid);
+        w.b(f.refBit);
+        w.b(f.dirty);
+        w.u32(f.owner.core);
+        w.u64(f.owner.vpage);
+    }
+    w.vecU32(freeList_);
+    w.u32(clockHand_);
+    for (const std::uint64_t s : rng_.state())
+        w.u64(s);
+}
+
+void
+FrameAllocator::restore(SnapshotReader &r)
+{
+    const std::uint32_t nFrames = r.u32();
+    if (!r.ok())
+        return;
+    if (nFrames != frames_.size()) {
+        r.fail("vm: frame count mismatch: snapshot has " +
+               std::to_string(nFrames) + " frames, this allocator has " +
+               std::to_string(frames_.size()));
+        return;
+    }
+    for (Frame &f : frames_) {
+        f.valid = r.b();
+        f.refBit = r.b();
+        f.dirty = r.b();
+        f.owner.core = r.u32();
+        f.owner.vpage = r.u64();
+    }
+    r.vecU32(freeList_);
+    if (r.ok() && freeList_.size() > frames_.size()) {
+        r.fail("vm: free list larger than the frame array");
+        return;
+    }
+    clockHand_ = r.u32();
+    Rng::State rngState;
+    for (std::uint64_t &s : rngState)
+        s = r.u64();
+    rng_.setState(rngState);
+}
+
 } // namespace cameo

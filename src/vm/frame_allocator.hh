@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "snapshot/snapshot.hh"
 #include "stats/counter.hh"
 #include "stats/registry.hh"
 #include "util/rng.hh"
@@ -89,6 +90,15 @@ class FrameAllocator
     std::optional<FrameOwner> ownerOf(std::uint32_t frame) const;
 
     void registerStats(StatRegistry &registry);
+
+    /**
+     * Checkpoint frame ownership, the randomized free list (order
+     * matters: it is the future allocation order), the clock hand, and
+     * the RNG cursor. The frame count is structural; restore() verifies
+     * it. Counters travel in the stats section.
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
     const Counter &evictions() const { return evictions_; }
     const Counter &randomProbeHits() const { return randomProbeHits_; }

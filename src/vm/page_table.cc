@@ -1,5 +1,7 @@
 #include "vm/page_table.hh"
 
+#include "snapshot/flat_map_io.hh"
+
 namespace cameo
 {
 
@@ -30,6 +32,20 @@ bool
 PageTable::wasEvicted(std::uint32_t core, PageAddr vpage) const
 {
     return everEvicted_.contains(keyOf(core, vpage));
+}
+
+void
+PageTable::save(SnapshotWriter &w) const
+{
+    saveFlatMap(w, table_);
+    saveFlatMap(w, everEvicted_.raw());
+}
+
+void
+PageTable::restore(SnapshotReader &r)
+{
+    restoreFlatMap(r, table_, "page table");
+    restoreFlatMap(r, everEvicted_.raw(), "ever-evicted set");
 }
 
 } // namespace cameo

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "snapshot/snapshot.hh"
 #include "util/flat_map.hh"
 #include "util/types.hh"
 
@@ -59,6 +60,14 @@ class PageTable
     bool wasEvicted(std::uint32_t core, PageAddr vpage) const;
 
     std::size_t residentPages() const { return table_.size(); }
+
+    /**
+     * Checkpoint both tables at exact slot granularity: the physical
+     * layout (not just the entry set) is serialized so probe chains and
+     * iteration order survive a restore bit-identically.
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
   private:
     static std::uint64_t

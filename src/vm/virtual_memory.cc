@@ -91,4 +91,21 @@ VirtualMemory::registerStats(StatRegistry &registry)
     ssd_.registerStats(registry);
 }
 
+void
+VirtualMemory::save(SnapshotWriter &w) const
+{
+    allocator_.save(w);
+    pageTable_.save(w);
+}
+
+void
+VirtualMemory::restore(SnapshotReader &r)
+{
+    allocator_.restore(r);
+    pageTable_.restore(r);
+    // Translation-cache entries are reconstructible (and their tallies
+    // are host telemetry): restart cold. See the header comment.
+    tlb_.flush();
+}
+
 } // namespace cameo

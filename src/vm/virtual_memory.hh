@@ -17,6 +17,7 @@
 #include <functional>
 #include <optional>
 
+#include "snapshot/snapshot.hh"
 #include "stats/counter.hh"
 #include "stats/registry.hh"
 #include "util/types.hh"
@@ -99,6 +100,18 @@ class VirtualMemory
     const TranslationCache &tlb() const { return tlb_; }
 
     void registerStats(StatRegistry &registry);
+
+    /**
+     * Checkpoint the allocator and page table. The TLB is deliberately
+     * NOT serialized: its hit/miss tallies are host-side telemetry
+     * (unregistered), and TLB-on and TLB-off runs are bit-identical in
+     * every simulated stat, so restore() simply flushes it — the same
+     * state a fresh run would reach after its first access anyway
+     * differs only in telemetry. The SSD holds no dynamic state beyond
+     * registered counters.
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
 
     const Counter &majorFaults() const { return majorFaults_; }
     const Counter &minorFaults() const { return minorFaults_; }

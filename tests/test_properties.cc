@@ -9,6 +9,8 @@
 
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "core/cameo_controller.hh"
 #include "core/congruence_group.hh"
@@ -203,6 +205,60 @@ INSTANTIATE_TEST_SUITE_P(
                       OrgKind::TlmStatic, OrgKind::TlmDynamic,
                       OrgKind::TlmFreq, OrgKind::TlmOracle,
                       OrgKind::DoubleUse, OrgKind::Cameo));
+
+/** Stats conservation: counters that must add up for every org. */
+class OrgConservationTest : public ::testing::TestWithParam<OrgKind>
+{
+};
+
+TEST_P(OrgConservationTest, CountersConserveUnderRandomTraces)
+{
+    const OrgKind kind = GetParam();
+    Rng rng(static_cast<std::uint64_t>(kind) * 131 + 5);
+    const std::vector<std::string> workloads{"mcf", "milc", "soplex"};
+    for (int round = 0; round < 2; ++round) {
+        SystemConfig c = tinyConfig();
+        c.accessesPerCore = 5000 + rng.next(5000);
+        c.seed = rng.next(1 << 20);
+        c.timingMode = rng.chance(0.5) ? TimingMode::Queued
+                                       : TimingMode::Blocking;
+        const WorkloadProfile &wl = *findWorkload(
+            workloads[static_cast<std::size_t>(rng.next(3))]);
+        const RunResult r = runWorkload(c, kind, wl);
+        const std::string what = std::string(orgKindName(kind)) + "/" +
+                                 wl.name + " seed " +
+                                 std::to_string(c.seed);
+
+        // Every measured access either hit or missed the shared L3.
+        EXPECT_EQ(r.accesses, r.l3Hits + r.l3Misses) << what;
+        // The untruncated run measured exactly the configured trace.
+        EXPECT_FALSE(r.truncated) << what;
+        EXPECT_EQ(r.accesses, c.accessesPerCore * c.numCores) << what;
+        EXPECT_GT(r.instructions, 0u) << what;
+        EXPECT_GT(r.kernelSteps, 0u) << what;
+        // Memory beyond the L3 only ever sees misses: no module can
+        // report service for traffic the cache absorbed.
+        if (kind == OrgKind::Baseline) {
+            EXPECT_EQ(r.stackedBytes, 0u) << what;
+            EXPECT_EQ(r.servicedStacked, 0u) << what;
+            EXPECT_EQ(r.swaps, 0u) << what;
+        }
+        if (kind == OrgKind::Cameo || kind == OrgKind::CameoFreq) {
+            // Each L3 miss is serviced by exactly one of the two
+            // memories (swap traffic only adds to the counts).
+            EXPECT_GE(r.servicedStacked + r.servicedOffchip, r.l3Misses)
+                << what;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrgs, OrgConservationTest,
+    ::testing::Values(OrgKind::Baseline, OrgKind::AlloyCache,
+                      OrgKind::TlmStatic, OrgKind::TlmDynamic,
+                      OrgKind::TlmFreq, OrgKind::TlmOracle,
+                      OrgKind::DoubleUse, OrgKind::Cameo,
+                      OrgKind::CameoFreq));
 
 /** CAMEO invariants across LLT designs and predictors. */
 class CameoVariantTest

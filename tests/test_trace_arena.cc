@@ -142,6 +142,39 @@ TEST(ArenaReplayTest, SkipMatchesConsume)
     }
 }
 
+TEST(ArenaReplayTest, SkipZeroAndSkipComposition)
+{
+    constexpr std::uint64_t kCount = 2600;
+    const WorkloadProfile &wl = *findWorkload("milc");
+    const auto arena = TraceArena::record(wl, smallParams(), 3, kCount);
+
+    // skip(0) is a no-op.
+    ArenaReplaySource zero(arena);
+    zero.skip(0);
+    ArenaReplaySource plain(arena);
+    for (int i = 0; i < 30; ++i)
+        ASSERT_TRUE(sameAccess(zero.next(), plain.next()));
+
+    // skip(w); skip(p) == skip(w + p) — the restore fast-forward path —
+    // including splits that straddle checkpoints and the wrap point.
+    for (const auto &[first, second] :
+         {std::pair<std::uint64_t, std::uint64_t>{0, 1024},
+          {700, 900},
+          {1023, 1},
+          {2599, 1},      // second lands exactly on the end
+          {2000, 1300}}) { // second wraps
+        ArenaReplaySource split(arena);
+        split.skip(first);
+        split.skip(second);
+        ArenaReplaySource whole(arena);
+        whole.skip(first + second);
+        for (int i = 0; i < 30; ++i) {
+            ASSERT_TRUE(sameAccess(split.next(), whole.next()))
+                << first << " + " << second << " record " << i;
+        }
+    }
+}
+
 TEST(ArenaReplayTest, GeneratorSkipMatchesDiscard)
 {
     const WorkloadProfile &wl = *findWorkload("omnetpp");

@@ -245,6 +245,66 @@ TEST(TraceFileTest, ReaderSkipMatchesConsume)
     }
 }
 
+TEST(TraceFileTest, SkipZeroIsIdentity)
+{
+    // skip(0) must not advance — the warmup=0 restore path relies on
+    // it being a true no-op for every source implementation.
+    TempFile file("cameo_test_skip_zero.trc");
+    const WorkloadProfile &wl = *findWorkload("gcc");
+    for (const TraceFormat format :
+         {TraceFormat::Raw, TraceFormat::Packed}) {
+        SyntheticGenerator gen(wl, smallParams(), 17);
+        ASSERT_EQ(recordTrace(gen, file.path(), 1500, format), 1500u);
+        TraceReader skipped(file.path());
+        skipped.skip(0);
+        TraceReader plain(file.path());
+        for (int i = 0; i < 30; ++i) {
+            const Access a = skipped.next();
+            const Access b = plain.next();
+            ASSERT_EQ(a.vaddr, b.vaddr);
+            ASSERT_EQ(a.pc, b.pc);
+        }
+    }
+}
+
+TEST(TraceFileTest, ConsecutiveSkipsCompose)
+{
+    // skip(w) then skip(p) must equal skip(w + p): exactly the restore
+    // path, which fast-forwards warmup at construction and then the
+    // processed-record count from the snapshot. The split points are
+    // chosen so the second skip starts mid-interval and crosses a
+    // packed-trace checkpoint (kTraceCheckpointInterval = 1024).
+    static_assert(kTraceCheckpointInterval == 1024);
+    TempFile file("cameo_test_skip_compose.trc");
+    const WorkloadProfile &wl = *findWorkload("mcf");
+    for (const TraceFormat format :
+         {TraceFormat::Raw, TraceFormat::Packed}) {
+        SyntheticGenerator gen(wl, smallParams(), 19);
+        ASSERT_EQ(recordTrace(gen, file.path(), 3000, format), 3000u);
+        for (const auto &[first, second] :
+             {std::pair<std::uint64_t, std::uint64_t>{0, 1024},
+              {700, 900},     // second crosses the 1024 checkpoint
+              {1024, 1024},   // both land exactly on checkpoints
+              {1023, 1},      // second stops exactly on a checkpoint
+              {2000, 1000},   // second lands exactly on the end
+              {2500, 1000}}) { // second wraps past the end
+            TraceReader split(file.path());
+            split.skip(first);
+            split.skip(second);
+            TraceReader whole(file.path());
+            whole.skip(first + second);
+            for (int i = 0; i < 30; ++i) {
+                const Access a = split.next();
+                const Access b = whole.next();
+                ASSERT_EQ(a.vaddr, b.vaddr)
+                    << first << " + " << second << " record " << i;
+                ASSERT_EQ(a.pc, b.pc)
+                    << first << " + " << second << " record " << i;
+            }
+        }
+    }
+}
+
 TEST(PackedTraceTest, RoundTripPreservesAdversarialRecords)
 {
     // Extreme deltas, max gaps, alternating flags: the codec must be
