@@ -5,10 +5,13 @@
  * Every bench regenerates one artifact of the paper's evaluation on
  * the scaled default configuration. Trace length can be overridden
  * with the CAMEO_BENCH_ACCESSES environment variable (accesses per
- * core) and the workload set narrowed with CAMEO_BENCH_WORKLOADS
- * (comma-separated benchmark names) for quick runs. Both are parsed
- * strictly: malformed numbers and unknown workload names warn on
- * stderr instead of being silently accepted or dropped.
+ * core), a warmup prefix added with CAMEO_BENCH_WARMUP (accesses per
+ * core, replayed at functional fidelity before the measured region —
+ * DESIGN.md §13), and the workload set narrowed with
+ * CAMEO_BENCH_WORKLOADS (comma-separated benchmark names) for quick
+ * runs. All are parsed strictly: malformed numbers and unknown
+ * workload names warn on stderr instead of being silently accepted or
+ * dropped.
  *
  * Simulations execute on the parallel sweep engine (exp/sweep.hh);
  * CAMEO_BENCH_JOBS caps the worker threads (default: all hardware
@@ -44,6 +47,18 @@ benchConfig()
     if (!error.empty())
         std::cerr << "warning: " << error << " (using default "
                   << config.accessesPerCore << ")\n";
+    // Warmup-heavy benches default to the functional fast path: the
+    // warmup prefix updates architectural state exactly but skips all
+    // timing, then the measured region runs detailed.
+    error.clear();
+    if (const auto warmup = envUint("CAMEO_BENCH_WARMUP", &error)) {
+        config.warmupAccessesPerCore = *warmup;
+        if (*warmup > 0)
+            config.warmupPolicy = WarmupPolicy::Functional;
+    }
+    if (!error.empty())
+        std::cerr << "warning: " << error << " (running without "
+                     "warmup)\n";
     // Benches re-run the same workloads across many organizations and
     // config points: record each stream once, replay it everywhere
     // (bit-identical; CAMEO_TRACE_ARENA_MB=0 opts out).

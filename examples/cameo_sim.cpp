@@ -22,8 +22,23 @@
  *   --predictor   sam|llp|perfect                          (default llp)
  *   --llp-entries LLR entries per core                     (default 256)
  *   --timing      blocking|queued memory pipeline           (default blocking)
- *   --warmup      accesses per core skipped before measurement
- *                 (fast-forwarded via AccessSource::skip)    (default 0)
+ *   --warmup      accesses per core consumed before measurement, in
+ *                 addition to --accesses; what they do is set by
+ *                 --fidelity. Must be < --accesses           (default 0)
+ *   --fidelity    what the warmup prefix does (DESIGN.md §13):
+ *                 skip       fast-forward the trace cursor only
+ *                 functional replay through the functional access path
+ *                            (exact architectural state, no timing),
+ *                            then switch to detailed measurement
+ *                 detailed   full-timing warmup, timing reset at the
+ *                            switch (the slow reference)
+ *                                                           (default skip)
+ *   --switch-at   carve the first N accesses per core out of --accesses
+ *                 as warmup (so the total trace length is unchanged) and
+ *                 switch fidelity there; implies --fidelity=functional
+ *                 unless --fidelity says otherwise. Mutually exclusive
+ *                 with --warmup; must leave at least one measured
+ *                 access                                     (default 0 = off)
  *   --checkpoint-at  pause after this many aggregate accesses (summed
  *                 over cores), snapshot the full simulation state to
  *                 --checkpoint-out, then continue to completion
@@ -180,6 +195,51 @@ main(int argc, char **argv)
     }
 
     config.warmupAccessesPerCore = cli.getUint("warmup", 0);
+    if (config.warmupAccessesPerCore != 0 &&
+        config.warmupAccessesPerCore >= config.accessesPerCore) {
+        std::cerr << "error: --warmup=" << config.warmupAccessesPerCore
+                  << " must be smaller than --accesses="
+                  << config.accessesPerCore
+                  << " (warmup may not swallow the measured region)\n";
+        return EXIT_FAILURE;
+    }
+
+    const std::string fidelity = cli.getString("fidelity", "");
+    if (!fidelity.empty()) {
+        if (fidelity == "skip")
+            config.warmupPolicy = WarmupPolicy::Skip;
+        else if (fidelity == "functional")
+            config.warmupPolicy = WarmupPolicy::Functional;
+        else if (fidelity == "detailed")
+            config.warmupPolicy = WarmupPolicy::Detailed;
+        else {
+            std::cerr << "error: unknown --fidelity '" << fidelity
+                      << "' (skip|functional|detailed)\n";
+            return EXIT_FAILURE;
+        }
+    }
+
+    const std::uint64_t switch_at = cli.getUint("switch-at", 0);
+    if (switch_at != 0) {
+        if (config.warmupAccessesPerCore != 0) {
+            std::cerr << "error: --switch-at and --warmup are mutually "
+                         "exclusive (--switch-at carves the warmup out "
+                         "of --accesses, --warmup prepends records)\n";
+            return EXIT_FAILURE;
+        }
+        if (switch_at >= config.accessesPerCore) {
+            std::cerr << "error: --switch-at=" << switch_at
+                      << " is past the end of the run (--accesses="
+                      << config.accessesPerCore
+                      << "); it must leave at least one measured "
+                         "access\n";
+            return EXIT_FAILURE;
+        }
+        config.warmupAccessesPerCore = switch_at;
+        config.accessesPerCore -= switch_at;
+        if (fidelity.empty())
+            config.warmupPolicy = WarmupPolicy::Functional;
+    }
 
     const std::uint64_t checkpoint_at = cli.getUint("checkpoint-at", 0);
     const std::string checkpoint_out =

@@ -19,7 +19,7 @@ if [ ! -d build/bench ]; then
     echo "Build first:  cmake -B build -S . && cmake --build build -j" >&2
     exit 1
 fi
-for b in fig02_motivation perf_hotpath perf_queue; do
+for b in fig02_motivation perf_hotpath perf_queue perf_warmup; do
     if [ ! -x "build/bench/$b" ]; then
         echo "error: build/bench/$b missing or not executable." >&2
         echo "Rebuild:  cmake --build build -j" >&2
@@ -28,9 +28,10 @@ for b in fig02_motivation perf_hotpath perf_queue; do
 done
 
 failed=""
+timings=""
 
-# run_bench LABEL NAME [ARGS...]: banner, run, record failures instead
-# of aborting the sweep.
+# run_bench LABEL NAME [ARGS...]: banner, run, record wall-clock and
+# failures instead of aborting the sweep.
 run_bench() {
     _label="$1"
     _b="$2"
@@ -38,13 +39,18 @@ run_bench() {
     echo "===================================================================="
     echo "===== $_label"
     echo "===================================================================="
+    _start=$(date +%s)
     if "./build/bench/$_b" "$@"; then
-        :
+        _status=ok
     else
         _rc=$?
+        _status="FAILED($_rc)"
         echo "***** bench/$_b FAILED with exit status $_rc" >&2
         failed="$failed $_b"
     fi
+    _secs=$(( $(date +%s) - _start ))
+    echo "----- bench/$_b: ${_secs}s ($_status)"
+    timings="$timings$_b $_secs $_status\n"
     echo
 }
 
@@ -64,6 +70,15 @@ run_bench "bench/perf_hotpath (simulator throughput -> BENCH_hotpath.json)" \
     perf_hotpath
 run_bench "bench/perf_queue (queued contention -> BENCH_queue.json)" \
     perf_queue
+run_bench "bench/perf_warmup (functional warmup speedup -> BENCH_warmup.json)" \
+    perf_warmup
+
+echo "===================================================================="
+echo "===== wall-clock summary"
+echo "===================================================================="
+printf "$timings" | awk '
+    { printf "  %-28s %6ss  %s\n", $1, $2, $3; total += $2 }
+    END { printf "  %-28s %6ss\n", "TOTAL", total }'
 
 if [ -n "$failed" ]; then
     echo "error: failed benches:$failed" >&2

@@ -1,5 +1,7 @@
 #include "cache/set_assoc_cache.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "util/bitops.hh"
@@ -17,68 +19,15 @@ SetAssocCache::SetAssocCache(std::string name, std::uint64_t capacity_bytes,
       misses_(name_ + ".misses", "cache misses"),
       writebacks_(name_ + ".writebacks", "dirty evictions")
 {
-    assert(ways != 0);
+    assert(ways != 0 && ways <= kMaxWays);
     assert(numSets_ != 0 && isPowerOfTwo(numSets_) &&
            "cache capacity must give a power-of-two set count");
     setMask_ = numSets_ - 1;
     setShift_ = exactLog2(numSets_);
-    store_.resize(numSets_ * ways_);
-}
-
-CacheAccessResult
-SetAssocCache::access(LineAddr line, bool is_write)
-{
-    const std::uint64_t set = setOf(line);
-    const LineAddr tag = tagOf(line);
-    Way *base = &store_[set * ways_];
-    ++useClock_;
-
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        Way &way = base[w];
-        if (way.meta.valid && way.tag == tag) {
-            way.meta.lastUse = useClock_;
-            way.dirty |= is_write;
-            hits_.inc();
-            return CacheAccessResult{true, std::nullopt};
-        }
-    }
-
-    misses_.inc();
-
-    // Victim selection directly over this set's ways — the same
-    // decision procedure as chooseVictim (first invalid way, else the
-    // policy), scanned in place because the miss path runs per access
-    // and must neither allocate nor copy metadata.
-    std::uint32_t victim = ways_;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (!base[w].meta.valid) {
-            victim = w;
-            break;
-        }
-    }
-    if (victim == ways_) {
-        if (policy_ == ReplPolicy::Random) {
-            victim = static_cast<std::uint32_t>(rng_.next(ways_));
-        } else {
-            victim = 0;
-            for (std::uint32_t w = 1; w < ways_; ++w) {
-                if (base[w].meta.lastUse < base[victim].meta.lastUse)
-                    victim = w;
-            }
-        }
-    }
-
-    CacheAccessResult result{false, std::nullopt};
-    Way &way = base[victim];
-    if (way.meta.valid && way.dirty) {
-        result.writeback = (way.tag << setShift_) | set;
-        writebacks_.inc();
-    }
-    way.tag = tag;
-    way.dirty = is_write;
-    way.meta.valid = true;
-    way.meta.lastUse = useClock_;
-    return result;
+    tags_.resize(numSets_ * ways_);
+    lastUse_.resize(numSets_ * ways_);
+    validMask_.resize(numSets_);
+    dirtyMask_.resize(numSets_);
 }
 
 bool
@@ -86,12 +35,8 @@ SetAssocCache::probe(LineAddr line) const
 {
     const std::uint64_t set = setOf(line);
     const LineAddr tag = tagOf(line);
-    const Way *base = &store_[set * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (base[w].meta.valid && base[w].tag == tag)
-            return true;
-    }
-    return false;
+    const LineAddr *tags = &tags_[set * ways_];
+    return (matchMask(tags, ways_, tag) & validMask_[set]) != 0;
 }
 
 bool
@@ -99,17 +44,17 @@ SetAssocCache::invalidate(LineAddr line)
 {
     const std::uint64_t set = setOf(line);
     const LineAddr tag = tagOf(line);
-    Way *base = &store_[set * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        Way &way = base[w];
-        if (way.meta.valid && way.tag == tag) {
-            const bool was_dirty = way.dirty;
-            way.meta.valid = false;
-            way.dirty = false;
-            return was_dirty;
-        }
-    }
-    return false;
+    const LineAddr *tags = &tags_[set * ways_];
+    const std::uint32_t match =
+        matchMask(tags, ways_, tag) & validMask_[set];
+    if (match == 0)
+        return false;
+    // The stale tag and timestamp stay behind, exactly as the old
+    // Way record kept them: only validity and dirtiness are dropped.
+    const bool was_dirty = (dirtyMask_[set] & match) != 0;
+    validMask_[set] &= ~match;
+    dirtyMask_[set] &= ~match;
+    return was_dirty;
 }
 
 void
@@ -128,11 +73,15 @@ SetAssocCache::save(SnapshotWriter &w) const
     w.u64(useClock_);
     for (const std::uint64_t s : rng_.state())
         w.u64(s);
-    for (const Way &way : store_) {
-        w.u64(way.tag);
-        w.b(way.dirty);
-        w.b(way.meta.valid);
-        w.u64(way.meta.lastUse);
+    // Same record stream as the historical array-of-structs layout:
+    // set-major way order, tag / dirty / valid / lastUse per way.
+    for (std::uint64_t i = 0; i < numSets_ * ways_; ++i) {
+        const std::uint64_t set = i / ways_;
+        const std::uint32_t bit = 1u << (i % ways_);
+        w.u64(tags_[i]);
+        w.b((dirtyMask_[set] & bit) != 0);
+        w.b((validMask_[set] & bit) != 0);
+        w.u64(lastUse_[i]);
     }
 }
 
@@ -155,11 +104,17 @@ SetAssocCache::restore(SnapshotReader &r)
     for (std::uint64_t &s : rngState)
         s = r.u64();
     rng_.setState(rngState);
-    for (Way &way : store_) {
-        way.tag = r.u64();
-        way.dirty = r.b();
-        way.meta.valid = r.b();
-        way.meta.lastUse = r.u64();
+    std::fill(validMask_.begin(), validMask_.end(), 0u);
+    std::fill(dirtyMask_.begin(), dirtyMask_.end(), 0u);
+    for (std::uint64_t i = 0; i < numSets_ * ways_; ++i) {
+        const std::uint64_t set = i / ways_;
+        const std::uint32_t bit = 1u << (i % ways_);
+        tags_[i] = r.u64();
+        if (r.b())
+            dirtyMask_[set] |= bit;
+        if (r.b())
+            validMask_[set] |= bit;
+        lastUse_[i] = r.u64();
     }
 }
 

@@ -12,7 +12,8 @@
 #ifndef CAMEO_CACHE_SET_ASSOC_CACHE_HH
 #define CAMEO_CACHE_SET_ASSOC_CACHE_HH
 
-#include <optional>
+#include <algorithm>
+#include <bit>
 #include <string>
 #include <vector>
 
@@ -26,14 +27,21 @@
 namespace cameo
 {
 
-/** Result of one cache access. */
+/**
+ * Result of one cache access. Deliberately a 16-byte POD — this is
+ * returned once per simulated access from the hottest function in the
+ * simulator, and two registers beat a hidden sret buffer.
+ */
 struct CacheAccessResult
 {
+    /** Dirty victim line to write back; meaningful when hasWriteback. */
+    LineAddr writebackLine = 0;
+
     /** True if the line was present. */
     bool hit = false;
 
-    /** Dirty victim line that must be written back (miss path only). */
-    std::optional<LineAddr> writeback;
+    /** True when a dirty victim was evicted (miss path only). */
+    bool hasWriteback = false;
 };
 
 /** A set-associative, write-allocate, writeback cache. */
@@ -62,11 +70,25 @@ class SetAssocCache
     /**
      * Access @p line; allocates on miss (write-allocate).
      *
+     * Defined inline below — one call per simulated access in both
+     * fidelity modes makes this the hottest function in the simulator.
+     *
      * @param line     Line address (OS-physical).
      * @param is_write Marks the line dirty on hit or after allocation.
      * @return Hit/miss and any dirty victim to write back.
      */
     CacheAccessResult access(LineAddr line, bool is_write);
+
+    /** One-hot way mask of @p tag in a set's tag row (validity is the
+     *  caller's mask). Pure data-flow; no branch depends on the tags. */
+    static std::uint32_t matchMask(const LineAddr *tags,
+                                   std::uint32_t ways, LineAddr tag)
+    {
+        std::uint32_t match = 0;
+        for (std::uint32_t w = 0; w < ways; ++w)
+            match |= static_cast<std::uint32_t>(tags[w] == tag) << w;
+        return match;
+    }
 
     /** Non-allocating presence check (no LRU update). */
     bool probe(LineAddr line) const;
@@ -98,15 +120,14 @@ class SetAssocCache
     const Counter &writebacks() const { return writebacks_; }
 
   private:
-    struct Way
-    {
-        LineAddr tag = 0;
-        bool dirty = false;
-        WayMeta meta;
-    };
-
     std::uint64_t setOf(LineAddr line) const { return line & setMask_; }
     LineAddr tagOf(LineAddr line) const { return line >> setShift_; }
+
+    /** Bit @p w set for every way index of this cache. */
+    std::uint32_t waysMask() const
+    {
+        return ways_ == 32 ? ~std::uint32_t{0} : (1u << ways_) - 1;
+    }
 
     std::string name_;
     std::uint64_t numSets_;
@@ -117,12 +138,85 @@ class SetAssocCache
     ReplPolicy policy_;
     Rng rng_;
     std::uint64_t useClock_ = 0;
-    std::vector<Way> store_; ///< numSets_ * ways_, set-major.
+
+    // Tag/LRU state in structure-of-arrays form: the access path scans
+    // one set's tags (contiguous, two cache lines at 16 ways) with a
+    // branchless compare loop, consults the per-set valid bitmap, and
+    // touches a single LRU timestamp on a hit. An array-of-structs Way
+    // record spreads the same scan over three times the memory.
+    std::vector<LineAddr> tags_;         ///< numSets_ * ways_, set-major.
+    std::vector<std::uint64_t> lastUse_; ///< numSets_ * ways_, set-major.
+    std::vector<std::uint32_t> validMask_; ///< Per set; bit w = way valid.
+    std::vector<std::uint32_t> dirtyMask_; ///< Per set; bit w = way dirty.
 
     Counter hits_;
     Counter misses_;
     Counter writebacks_;
 };
+
+inline CacheAccessResult
+SetAssocCache::access(LineAddr line, bool is_write)
+{
+    const std::uint64_t set = setOf(line);
+    const LineAddr tag = tagOf(line);
+    LineAddr *tags = &tags_[set * ways_];
+    std::uint64_t *last_use = &lastUse_[set * ways_];
+    const std::uint32_t valid = validMask_[set];
+    ++useClock_;
+
+    // Branchless whole-set compare: at most one valid way can hold the
+    // tag, so the masked match is either empty or a single bit whose
+    // index is the hit way.
+    const std::uint32_t match = matchMask(tags, ways_, tag) & valid;
+    if (match) {
+        const auto w =
+            static_cast<std::uint32_t>(std::countr_zero(match));
+        last_use[w] = useClock_;
+        dirtyMask_[set] |= static_cast<std::uint32_t>(is_write) << w;
+        hits_.inc();
+        return CacheAccessResult{0, true, false};
+    }
+
+    misses_.inc();
+
+    // Victim selection — the same decision procedure as chooseVictim:
+    // the lowest-index invalid way when one exists, else the policy
+    // (LRU keeps the first-lowest timestamp on ties).
+    std::uint32_t victim;
+    if (const std::uint32_t invalid = ~valid & waysMask()) {
+        victim = static_cast<std::uint32_t>(std::countr_zero(invalid));
+    } else if (policy_ == ReplPolicy::Random) {
+        victim = static_cast<std::uint32_t>(rng_.next(ways_));
+    } else {
+        // Branchless min-of-timestamps: LRU ages are close to random,
+        // so a compare-and-branch scan mispredicts on roughly half the
+        // ways; conditional moves cost the same on every miss. Packing
+        // the way index into the low bits makes one cmov per way do
+        // both jobs, and min-of-keys breaks timestamp ties toward the
+        // lowest way exactly as the sequential first-lowest scan does.
+        // (Timestamps stay below 2^59: one tick per access.)
+        std::uint64_t best = last_use[0] << 5;
+        for (std::uint32_t w = 1; w < ways_; ++w) {
+            const std::uint64_t key = (last_use[w] << 5) | w;
+            best = key < best ? key : best;
+        }
+        victim = static_cast<std::uint32_t>(best & 31);
+    }
+
+    const std::uint32_t bit = 1u << victim;
+    CacheAccessResult result{0, false, false};
+    if ((valid & bit) != 0 && (dirtyMask_[set] & bit) != 0) {
+        result.writebackLine = (tags[victim] << setShift_) | set;
+        result.hasWriteback = true;
+        writebacks_.inc();
+    }
+    tags[victim] = tag;
+    validMask_[set] = valid | bit;
+    dirtyMask_[set] = (dirtyMask_[set] & ~bit) |
+                      (static_cast<std::uint32_t>(is_write) << victim);
+    last_use[victim] = useClock_;
+    return result;
+}
 
 } // namespace cameo
 

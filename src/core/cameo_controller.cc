@@ -128,6 +128,51 @@ CameoController::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
     }
 }
 
+void
+CameoController::accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                                  std::uint32_t core)
+{
+    assert(line < groups_.totalLines());
+    const std::uint64_t group = groups_.groupOf(line);
+    const std::uint32_t slot = groups_.slotOf(line);
+    const std::uint32_t loc = llt_.locationOf(group, slot);
+
+    if (loc == 0)
+        servicedStacked_.inc();
+    else
+        servicedOffchip_.inc();
+
+    // Writebacks update data in place (see writeback()): no LLT or
+    // predictor state changes, only DRAM traffic — nothing to do.
+    if (is_write)
+        return;
+
+    switch (params_.llt) {
+      case LltKind::Ideal:
+        if (loc != 0 && shouldSwap(group, slot))
+            swapSlotIn(group, slot);
+        return;
+      case LltKind::Embedded:
+        lltLookups_.inc();
+        if (loc != 0 && shouldSwap(group, slot))
+            swapSlotIn(group, slot);
+        return;
+      case LltKind::CoLocated:
+      default: {
+        // Same order as accessCoLocated: predict, then the swap-filter
+        // consultation (its counter and any filter side effects come
+        // before training), then train the LLP with the verified
+        // location. The wasted/squashed speculative-fetch split is
+        // queue-occupancy-dependent and detailed-only.
+        const std::uint32_t pred = predictor_.predict(core, pc, loc);
+        if (loc != 0 && shouldSwap(group, slot))
+            swapSlotIn(group, slot);
+        predictor_.update(core, pc, pred, loc);
+        return;
+      }
+    }
+}
+
 Tick
 CameoController::writeback(Tick now, std::uint64_t group, std::uint32_t loc)
 {
@@ -155,7 +200,6 @@ CameoController::swapIn(Tick when, std::uint64_t group, std::uint32_t slot,
                         std::uint32_t loc, bool victim_in_hand)
 {
     assert(loc != 0);
-    const std::uint32_t victim_slot = llt_.slotAt(group, 0);
     const std::uint64_t off_line = groups_.offchipLineOf(group, loc);
 
     // Read the outgoing stacked resident unless the caller already has
@@ -168,6 +212,13 @@ CameoController::swapIn(Tick when, std::uint64_t group, std::uint32_t slot,
     // write also refreshes the co-located location entry).
     stacked_.request(when, stackedDataLine(group), true, stackedBurst());
 
+    swapSlotIn(group, slot);
+}
+
+void
+CameoController::swapSlotIn(std::uint64_t group, std::uint32_t slot)
+{
+    const std::uint32_t victim_slot = llt_.slotAt(group, 0);
     llt_.swapSlots(group, slot, victim_slot);
     swaps_.inc();
 }

@@ -102,6 +102,17 @@ class CameoController
                 std::uint32_t core);
 
     /**
+     * Functional-fidelity twin of access() (DESIGN.md §13): identical
+     * LLT swap decisions (same swap-filter consultation order), LLP
+     * prediction + training, and serviced/swap counters — but no DRAM
+     * requests and no speculative-fetch squash accounting (wasted /
+     * squashed fetches are properties of queue occupancy and are only
+     * defined in detailed mode).
+     */
+    void accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                          std::uint32_t core);
+
+    /**
      * Stacked device lines an Embedded LLT reserves for @p data_lines
      * data lines with group size @p group_size.
      */
@@ -184,6 +195,9 @@ class CameoController
      */
     void swapIn(Tick when, std::uint64_t group, std::uint32_t slot,
                 std::uint32_t loc, bool victim_in_hand);
+
+    /** The architectural half of swapIn(): LLT update + swap count. */
+    void swapSlotIn(std::uint64_t group, std::uint32_t slot);
 
     /** Update a written-back line in place (no swap). */
     Tick writeback(Tick now, std::uint64_t group, std::uint32_t loc);

@@ -196,10 +196,14 @@ runComparison(const SystemConfig &base_config,
     SystemConfig arena_base = base_config;
     arena_base.useTraceArena =
         options.traceArena && !arena_base.sourceFactory;
+    if (options.warmupPolicy)
+        arena_base.warmupPolicy = *options.warmupPolicy;
     std::vector<DesignPoint> arena_points(points.begin(), points.end());
     for (DesignPoint &point : arena_points) {
         point.config.useTraceArena =
             options.traceArena && !point.config.sourceFactory;
+        if (options.warmupPolicy)
+            point.config.warmupPolicy = *options.warmupPolicy;
     }
 
     // Job layout: for each workload, the baseline run followed by one

@@ -31,11 +31,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "exp/progress.hh"
 #include "exp/experiment.hh"
+#include "sim/fidelity.hh"
 
 namespace cameo
 {
@@ -78,6 +80,15 @@ struct SweepOptions
      * the cache is disabled via CAMEO_TRACE_ARENA_MB=0.
      */
     bool traceArena = true;
+
+    /**
+     * When set, runComparison() overrides every config's warmup policy
+     * with this value (on its local copies, like traceArena). Lets
+     * warmup-heavy sweeps fast-forward through their warmup at
+     * functional fidelity (DESIGN.md §13) without editing each design
+     * point. Configs whose warmupAccessesPerCore is 0 are unaffected.
+     */
+    std::optional<WarmupPolicy> warmupPolicy;
 };
 
 /** Host-side measurements of the last SweepRunner::run call. */

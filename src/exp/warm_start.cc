@@ -87,6 +87,7 @@ prefixKey(const SystemConfig &config, OrgKind kind,
     appendField(key, config.tlmMigrateThreshold);
     appendField(key, config.scaleFactor);
     appendField(key, config.warmupAccessesPerCore);
+    appendField(key, static_cast<std::uint64_t>(config.warmupPolicy));
     appendField(key, config.seed);
     return key;
 }

@@ -131,6 +131,39 @@ AlloyCacheOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
     return done;
 }
 
+void
+AlloyCacheOrg::accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                                std::uint32_t core)
+{
+    assert(line < offchip_.capacityLines());
+    const std::uint64_t set_idx = line % numSets_;
+    Set &set = sets_[set_idx];
+    const bool hit = set.valid && set.tag == line;
+
+    if (is_write) {
+        // Same install-on-writeback policy as the detailed path; the
+        // victim writeback and TAD write are timing-only.
+        set.tag = line;
+        set.valid = true;
+        set.dirty = true;
+        return;
+    }
+
+    const bool pred_hit = predictHit(core, pc);
+    if (hit) {
+        hits_.inc();
+        // wastedFetches_ depends on off-chip queue occupancy
+        // (earliestServiceStart) — timing-only, skipped here.
+    } else {
+        misses_.inc();
+        set.tag = line;
+        set.valid = true;
+        set.dirty = false;
+    }
+    (pred_hit == hit ? mapCorrect_ : mapWrong_).inc();
+    trainPredictor(core, pc, hit);
+}
+
 double
 AlloyCacheOrg::hitRate() const
 {

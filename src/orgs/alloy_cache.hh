@@ -49,6 +49,9 @@ class AlloyCacheOrg : public MemoryOrganization
     Tick access(Tick now, LineAddr line, bool is_write, InstAddr pc,
                 std::uint32_t core) override;
 
+    void accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                          std::uint32_t core) override;
+
     std::uint64_t visibleBytes() const override
     {
         return offchip_.capacityBytes();

@@ -23,6 +23,19 @@ BaselineOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
 }
 
 void
+BaselineOrg::accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                              std::uint32_t core)
+{
+    (void)is_write;
+    (void)pc;
+    (void)core;
+    // Off-chip DRAM holds every line and keeps no architectural state;
+    // the detailed path only advances timing.
+    (void)line;
+    assert(line < offchip_.capacityLines());
+}
+
+void
 BaselineOrg::registerStats(StatRegistry &registry)
 {
     offchip_.registerStats(registry);

@@ -29,6 +29,21 @@ Tick
 CameoFreqOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
                      std::uint32_t core)
 {
+    noteAccess(line);
+    return CameoOrg::access(now, line, is_write, pc, core);
+}
+
+void
+CameoFreqOrg::accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                               std::uint32_t core)
+{
+    noteAccess(line);
+    CameoOrg::accessFunctional(line, is_write, pc, core);
+}
+
+void
+CameoFreqOrg::noteAccess(LineAddr line)
+{
     const PageAddr page = lineToPage(line);
     if (page < pageCount_.size() && pageCount_[page] < 255)
         ++pageCount_[page];
@@ -36,7 +51,6 @@ CameoFreqOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
         accessesThisEpoch_ = 0;
         decay();
     }
-    return CameoOrg::access(now, line, is_write, pc, core);
 }
 
 void

@@ -35,6 +35,9 @@ class CameoFreqOrg : public CameoOrg
     Tick access(Tick now, LineAddr line, bool is_write, InstAddr pc,
                 std::uint32_t core) override;
 
+    void accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                          std::uint32_t core) override;
+
     void registerStats(StatRegistry &registry) override;
 
     const Counter &hotPages() const { return hotPages_; }
@@ -44,6 +47,10 @@ class CameoFreqOrg : public CameoOrg
     void restore(SnapshotReader &r) override;
 
   private:
+    /** Heat bookkeeping shared by both fidelities: bump the page's
+     *  saturating counter and decay at epoch boundaries. */
+    void noteAccess(LineAddr line);
+
     /** Halve all counters (called every epoch of demand accesses). */
     void decay();
 

@@ -90,6 +90,13 @@ CameoOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
 }
 
 void
+CameoOrg::accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                           std::uint32_t core)
+{
+    controller_.accessFunctional(line, is_write, pc, core);
+}
+
+void
 CameoOrg::registerStats(StatRegistry &registry)
 {
     stacked_.registerStats(registry);

@@ -161,6 +161,17 @@ MemoryOrganization::applyTimingConfig(const OrgConfig &config)
 }
 
 void
+MemoryOrganization::resetTiming()
+{
+    assert(inflight_.empty() &&
+           "drain in-flight transactions before a timing reset");
+    lastRequestId_ = 0;
+    if (DramModule *stacked = stackedModule())
+        stacked->reset();
+    offchipModule().reset();
+}
+
+void
 MemoryOrganization::onPageMapped(std::uint32_t frame, std::uint32_t core,
                                  PageAddr vpage)
 {

@@ -136,6 +136,34 @@ class MemoryOrganization : public Checkpointable
                         std::uint32_t core) = 0;
 
     /**
+     * Functional-fidelity twin of access() (DESIGN.md §13): performs
+     * exactly the architectural state updates of the detailed path —
+     * tag arrays, LLT permutations, predictor training, heat counters,
+     * migration decisions, RNG draws, demand-routing counters — but
+     * issues no DRAM requests, models no timing, and schedules no
+     * events. Timing-only side effects (bank/bus reservations, queue
+     * occupancy, squash/wasted-fetch accounting) are skipped; every
+     * state a later detailed run can observe is updated identically.
+     *
+     * @param line     OS-physical line address.
+     * @param is_write L3 writeback (true) or demand fill (false).
+     * @param pc       Missing instruction address (for predictors).
+     * @param core     Requesting core id.
+     */
+    virtual void accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                                  std::uint32_t core) = 0;
+
+    /**
+     * Reset all timing state while preserving architectural state: the
+     * DRAM modules' bank/bus reservations, controller queues, protocol
+     * auditor and counters go back to power-on. System calls this at
+     * the warmup→measured switch (after the warmup phase has drained)
+     * so functional- and detailed-warmup runs enter the measured
+     * region with identical timing state.
+     */
+    virtual void resetTiming();
+
+    /**
      * Submit one transaction to the memory pipeline. Timing comes from
      * the virtual access() model; completion delivery depends on the
      * mode: Blocking invokes @p client->onMemComplete before returning

@@ -59,12 +59,13 @@ TlmDynamicOrg::selectVictim()
 
 void
 TlmDynamicOrg::postAccess(Tick when, PageAddr phys_page,
-                          std::uint64_t device_page, bool is_write)
+                          std::uint64_t device_page, bool is_write,
+                          Fidelity fidelity)
 {
     (void)is_write;
-    lastAccessTick_ = std::max(lastAccessTick_, when);
+    const std::uint64_t stamp = ++accessSeq_;
     if (inStacked(device_page)) {
-        stackedLastUse_[device_page] = when;
+        stackedLastUse_[device_page] = stamp;
         touchCount_[phys_page] = 0;
         return;
     }
@@ -75,9 +76,9 @@ TlmDynamicOrg::postAccess(Tick when, PageAddr phys_page,
         return;
     touchCount_[phys_page] = 0;
     const std::uint64_t victim_dev = selectVictim();
-    billPageSwap(when, device_page, victim_dev);
+    billPageSwap(when, device_page, victim_dev, fidelity);
     swapMapping(phys_page, physPageAt(victim_dev));
-    stackedLastUse_[victim_dev] = when;
+    stackedLastUse_[victim_dev] = stamp;
 }
 
 void
@@ -114,7 +115,7 @@ TlmDynamicOrg::save(SnapshotWriter &w) const
     w.vecU8(touchCount_);
     for (const std::uint64_t s : rng_.state())
         w.u64(s);
-    w.u64(lastAccessTick_);
+    w.u64(accessSeq_);
 }
 
 void
@@ -138,7 +139,7 @@ TlmDynamicOrg::restore(SnapshotReader &r)
     for (std::uint64_t &s : rngState)
         s = r.u64();
     rng_.setState(rngState);
-    lastAccessTick_ = r.u64();
+    accessSeq_ = r.u64();
 }
 
 } // namespace cameo

@@ -72,18 +72,26 @@ class TlmDynamicOrg : public TlmRemapBase
 
   protected:
     void postAccess(Tick when, PageAddr phys_page,
-                    std::uint64_t device_page, bool is_write) override;
+                    std::uint64_t device_page, bool is_write,
+                    Fidelity fidelity) override;
 
   private:
     /** Approximate-LRU victim: oldest of N random stacked pages. */
     std::uint64_t selectVictim();
 
-    std::vector<Tick> stackedLastUse_; ///< Per stacked device page.
+    /**
+     * Recency is tracked in access-sequence numbers, not ticks: the
+     * OS's notion of "not recently used" is about reference order, and
+     * sequence stamps make victim selection identical across timing
+     * modes and fidelities (DESIGN.md §13) — tick stamps would tie
+     * within a batch and diverge between Blocking and Queued runs.
+     */
+    std::vector<std::uint64_t> stackedLastUse_; ///< Per stacked dev page.
     std::vector<std::uint8_t> touchCount_; ///< Per OS page, saturating.
     std::uint32_t victimProbes_;
     std::uint32_t migrateThreshold_;
     Rng rng_;
-    Tick lastAccessTick_ = 0;
+    std::uint64_t accessSeq_ = 0; ///< Demand accesses observed so far.
 };
 
 } // namespace cameo

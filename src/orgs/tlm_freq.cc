@@ -16,19 +16,20 @@ TlmFreqOrg::TlmFreqOrg(const OrgConfig &config)
 
 void
 TlmFreqOrg::postAccess(Tick when, PageAddr phys_page,
-                       std::uint64_t device_page, bool is_write)
+                       std::uint64_t device_page, bool is_write,
+                       Fidelity fidelity)
 {
     (void)device_page;
     (void)is_write;
     ++pageCount_[phys_page];
     if (++accessesThisEpoch_ >= epochLength_) {
         accessesThisEpoch_ = 0;
-        rebalance(when);
+        rebalance(when, fidelity);
     }
 }
 
 void
-TlmFreqOrg::rebalance(Tick when)
+TlmFreqOrg::rebalance(Tick when, Fidelity fidelity)
 {
     epochs_.inc();
 
@@ -67,7 +68,7 @@ TlmFreqOrg::rebalance(Tick when)
     for (std::size_t i = 0; i < swaps; ++i) {
         const std::uint64_t off_dev = devicePageOf(moveIn[i]);
         const std::uint64_t stk_dev = devicePageOf(moveOut[i]);
-        billPageSwap(when, off_dev, stk_dev);
+        billPageSwap(when, off_dev, stk_dev, fidelity);
         swapMapping(moveIn[i], moveOut[i]);
     }
 

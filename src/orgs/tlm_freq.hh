@@ -37,11 +37,12 @@ class TlmFreqOrg : public TlmRemapBase
 
   protected:
     void postAccess(Tick when, PageAddr phys_page,
-                    std::uint64_t device_page, bool is_write) override;
+                    std::uint64_t device_page, bool is_write,
+                    Fidelity fidelity) override;
 
   private:
     /** Re-place pages at an epoch boundary; bill migration traffic. */
-    void rebalance(Tick when);
+    void rebalance(Tick when, Fidelity fidelity);
 
     std::uint64_t epochLength_;
     std::uint64_t accessesThisEpoch_ = 0;

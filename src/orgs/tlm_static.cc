@@ -29,12 +29,14 @@ TlmStaticOrg::devicePageOf(PageAddr phys_page) const
 
 void
 TlmStaticOrg::postAccess(Tick when, PageAddr phys_page,
-                         std::uint64_t device_page, bool is_write)
+                         std::uint64_t device_page, bool is_write,
+                         Fidelity fidelity)
 {
     (void)when;
     (void)phys_page;
     (void)device_page;
     (void)is_write;
+    (void)fidelity;
 }
 
 Tick
@@ -67,25 +69,42 @@ TlmStaticOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
     const Tick done = routeLine(now, dev, line_in_page, is_write);
     // Migration traffic drains through writeback/fill queues; bill it
     // at request time, off the demand critical path.
-    postAccess(now, phys_page, dev, is_write);
+    postAccess(now, phys_page, dev, is_write, Fidelity::Detailed);
     return done;
 }
 
 void
+TlmStaticOrg::accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                               std::uint32_t core)
+{
+    (void)pc;
+    (void)core;
+    const PageAddr phys_page = lineToPage(line);
+    const std::uint64_t dev = devicePageOf(phys_page);
+    assert(dev < totalPages_);
+    // Same demand-routing accounting as routeLine, minus the module
+    // requests; then the same migration hook at functional fidelity.
+    (inStacked(dev) ? servicedStacked_ : servicedOffchip_).inc();
+    postAccess(0, phys_page, dev, is_write, Fidelity::Functional);
+}
+
+void
 TlmStaticOrg::billPageSwap(Tick when, std::uint64_t offchip_dev_page,
-                           std::uint64_t stacked_dev_page)
+                           std::uint64_t stacked_dev_page, Fidelity fidelity)
 {
     assert(!inStacked(offchip_dev_page) && inStacked(stacked_dev_page));
-    const std::uint64_t off_base =
-        (offchip_dev_page - stackedPages_) * kLinesPerPage;
-    const std::uint64_t stk_base = stacked_dev_page * kLinesPerPage;
-    for (std::uint32_t i = 0; i < kLinesPerPage; ++i) {
-        // Page coming in: read off-chip, write stacked.
-        offchip_.request(when, off_base + i, false, kLineBytes);
-        stacked_.request(when, stk_base + i, true, kLineBytes);
-        // Victim going out: read stacked, write off-chip.
-        stacked_.request(when, stk_base + i, false, kLineBytes);
-        offchip_.request(when, off_base + i, true, kLineBytes);
+    if (fidelity == Fidelity::Detailed) {
+        const std::uint64_t off_base =
+            (offchip_dev_page - stackedPages_) * kLinesPerPage;
+        const std::uint64_t stk_base = stacked_dev_page * kLinesPerPage;
+        for (std::uint32_t i = 0; i < kLinesPerPage; ++i) {
+            // Page coming in: read off-chip, write stacked.
+            offchip_.request(when, off_base + i, false, kLineBytes);
+            stacked_.request(when, stk_base + i, true, kLineBytes);
+            // Victim going out: read stacked, write off-chip.
+            stacked_.request(when, stk_base + i, false, kLineBytes);
+            offchip_.request(when, off_base + i, true, kLineBytes);
+        }
     }
     pageMigrations_.inc();
 }

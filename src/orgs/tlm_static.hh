@@ -17,6 +17,7 @@
 #define CAMEO_ORGS_TLM_STATIC_HH
 
 #include "orgs/memory_organization.hh"
+#include "sim/fidelity.hh"
 
 namespace cameo
 {
@@ -30,6 +31,9 @@ class TlmStaticOrg : public MemoryOrganization
 
     Tick access(Tick now, LineAddr line, bool is_write, InstAddr pc,
                 std::uint32_t core) override;
+
+    void accessFunctional(LineAddr line, bool is_write, InstAddr pc,
+                          std::uint32_t core) override;
 
     std::uint64_t visibleBytes() const override
     {
@@ -60,9 +64,12 @@ class TlmStaticOrg : public MemoryOrganization
      * @param when Demand request time (migration traffic is billed
      *             from here — it uses the write/fill queues and stays
      *             off the demand critical path).
+     * @param fidelity Functional runs make identical migration
+     *             decisions but bill no DRAM traffic; when is 0.
      */
     virtual void postAccess(Tick when, PageAddr phys_page,
-                            std::uint64_t device_page, bool is_write);
+                            std::uint64_t device_page, bool is_write,
+                            Fidelity fidelity);
 
     /** True if @p device_page resides in stacked DRAM. */
     bool inStacked(std::uint64_t device_page) const
@@ -77,10 +84,11 @@ class TlmStaticOrg : public MemoryOrganization
     /**
      * Bill the full 4KB page-swap traffic between an off-chip device
      * page and a stacked device page (16KB of total memory activity:
-     * both modules read and write 4KB, Section II-C).
+     * both modules read and write 4KB, Section II-C). Functional
+     * fidelity counts the migration without touching the modules.
      */
     void billPageSwap(Tick when, std::uint64_t offchip_dev_page,
-                      std::uint64_t stacked_dev_page);
+                      std::uint64_t stacked_dev_page, Fidelity fidelity);
 
     DramModule stacked_;
     DramModule offchip_;

@@ -47,7 +47,7 @@ inline constexpr char kSnapshotMagic[8] = {'C', 'A', 'M', 'E',
  * golden snapshot (CAMEO_UPDATE_GOLDEN=1, see tests/test_snapshot.cc).
  * Readers reject any other version outright; there is no migration.
  */
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /** CRC-32 (IEEE 802.3, reflected 0xEDB88320) over @p n bytes. */
 std::uint32_t snapshotCrc32(const void *data, std::size_t n);

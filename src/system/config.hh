@@ -22,6 +22,7 @@
 
 #include "dram/timings.hh"
 #include "orgs/memory_organization.hh"
+#include "sim/fidelity.hh"
 #include "trace/access_source.hh"
 #include "trace/generator.hh"
 #include "trace/workloads.hh"
@@ -100,6 +101,27 @@ struct SystemConfig
      * configuration) measures from the first record.
      */
     std::uint64_t warmupAccessesPerCore = 0;
+
+    /**
+     * What the warmup prefix does (DESIGN.md §13). Skip fast-forwards
+     * the trace cursor only (state stays cold; the golden
+     * configuration). Functional replays the warmup records through
+     * the functional access path — exact architectural state, no
+     * timing — then switches to detailed mode for the measured region.
+     * Detailed runs the warmup through the full timing model and
+     * resets timing state at the switch; it is the (slow) reference
+     * the functional path is differentially tested against. Ignored
+     * when warmupAccessesPerCore is 0.
+     */
+    WarmupPolicy warmupPolicy = WarmupPolicy::Skip;
+
+    /**
+     * Records fetched per core per refill in the functional warmup
+     * loop (clamped to [1, 4096]). Purely a host-efficiency knob: the
+     * warmup interleaves cores record-by-record regardless, so results
+     * are invariant to the batch size (proven in test_fidelity.cc).
+     */
+    std::uint32_t functionalRefillBatch = 1024;
 
     /**
      * Route access streams through the process-wide TraceArenaCache

@@ -101,8 +101,8 @@ CpuCore::finishAccess()
     // Evicted dirty line goes out through the writeback queue; it
     // costs bandwidth but never blocks the core (fire-and-forget: no
     // client, no window slot).
-    if (res.writeback)
-        org_.submit(clock_, *res.writeback, true, acc.pc, id_);
+    if (res.hasWriteback)
+        org_.submit(clock_, res.writebackLine, true, acc.pc, id_);
 
     pendingMiss_ = PendingMiss{phys_line, acc.pc, !acc.isWrite};
     tryIssuePendingMiss();
@@ -269,6 +269,25 @@ CpuCore::restore(SnapshotReader &r)
     // skip): advance it to the trace cursor and start the ring empty —
     // the next fetchAccess() refills from record processed_.
     source_->skip(processed_);
+    ringPos_ = 0;
+    ringLen_ = 0;
+}
+
+void
+CpuCore::beginMeasurement(std::uint64_t num_accesses)
+{
+    assert(!inflight_ && !pendingMiss_ && unresolved_ == 0 &&
+           "warmup must drain before the measured region starts");
+    numAccesses_ = num_accesses;
+    clock_ = 0;
+    lastMissComplete_ = 0;
+    outstanding_.clear();
+    lastLoadTag_ = 0;
+    nextLoadTag_ = 1;
+    lastLoadResolved_ = true;
+    blockReason_ = BlockReason::None;
+    processed_ = 0;
+    instructions_ = 0;
     ringPos_ = 0;
     ringLen_ = 0;
 }

@@ -36,6 +36,8 @@
 #define CAMEO_SYSTEM_CPU_CORE_HH
 
 #include <array>
+#include <cassert>
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -91,6 +93,39 @@ class CpuCore : public Agent, public MemClient
 
     std::uint64_t instructions() const { return instructions_; }
     std::uint64_t accesses() const { return processed_; }
+
+    /**
+     * Pull @p n warmup records straight from the source into @p buf —
+     * the functional warmup's batch path (no refill ring, no
+     * processed_ accounting, no per-record virtual dispatch). Only
+     * valid before the core has fetched anything (fresh or just after
+     * beginMeasurement()); the measured region then starts at the
+     * source cursor this leaves behind.
+     */
+    void warmupRefill(Access *buf, std::size_t n)
+    {
+        assert(processed_ == 0 && ringLen_ == 0);
+        source_->refill(buf, n);
+    }
+
+    /** Fast-forward the source past @p n records without processing
+     *  them (restore path of a post-warmup snapshot). */
+    void skipWarmup(std::uint64_t n)
+    {
+        assert(processed_ == 0 && ringLen_ == 0);
+        source_->skip(n);
+    }
+
+    /**
+     * Reset all execution progress for the measured region after a
+     * warmup phase (DESIGN.md §13): clock, miss window, dependence
+     * tracking, instruction and access counts, and the refill ring all
+     * return to power-on. The source cursor is NOT touched — it stays
+     * wherever the warmup left it — and the trace length becomes
+     * @p num_accesses. Requires the warmup to have drained (no
+     * in-flight access, no pending or unresolved misses).
+     */
+    void beginMeasurement(std::uint64_t num_accesses);
 
     /**
      * Checkpoint the core's architectural progress: clock, miss window,

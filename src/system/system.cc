@@ -1,5 +1,6 @@
 #include "system/system.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/kernel.hh"
@@ -47,10 +48,12 @@ System::System(const SystemConfig &config, OrgKind kind,
 
     // Each core's access stream: a synthetic generator by default, an
     // arena replay when enabled, or whatever the configured factory
-    // provides (trace replay). Warmup records are skipped here so the
-    // core's first fetched record is the first measured one.
-    const auto make_source =
-        [&](std::uint32_t c) -> std::unique_ptr<AccessSource> {
+    // provides (trace replay). Under the Skip policy warmup records are
+    // skipped here so the core's first fetched record is the first
+    // measured one; under Functional/Detailed the warmup phase itself
+    // consumes them (ensureWarmup), so the cursor starts at record 0.
+    const auto make_source = [&](std::uint32_t c, bool skip_warmup)
+        -> std::unique_ptr<AccessSource> {
         const WorkloadProfile &p = profileFor(c);
         const GeneratorParams gp = config_.generatorParamsFor(p);
         const std::uint64_t seed = coreSeed(config_.seed, c);
@@ -63,7 +66,7 @@ System::System(const SystemConfig &config, OrgKind kind,
         } else {
             source = std::make_unique<SyntheticGenerator>(p, gp, seed);
         }
-        if (config_.warmupAccessesPerCore > 0)
+        if (skip_warmup && config_.warmupAccessesPerCore > 0)
             source->skip(config_.warmupAccessesPerCore);
         return source;
     };
@@ -97,7 +100,7 @@ System::System(const SystemConfig &config, OrgKind kind,
                 for (const auto &[vpage, count] : *core_heat)
                     heat[pageHeatKey(c, vpage)] += count;
             } else {
-                const auto source = make_source(c);
+                const auto source = make_source(c, /*skip_warmup=*/true);
                 const auto core_heat = profilePageHeat(
                     *source, config_.accessesPerCore, pages_hint(c));
                 for (const auto &[vpage, count] : core_heat)
@@ -117,12 +120,26 @@ System::System(const SystemConfig &config, OrgKind kind,
 
     llc_ = std::make_unique<Llc>(config_);
 
+    // Under a warming policy the source cursor starts at record 0 (the
+    // warmup phase consumes the prefix). A Detailed-policy core is
+    // born with the *warmup* as its trace — the warmup kernel run
+    // finishes when every core has retired it — and is re-targeted to
+    // the measured length by beginMeasurement() at the switch.
+    const bool skip_warmup =
+        config_.warmupPolicy == WarmupPolicy::Skip;
+    const bool detailed_warmup =
+        !skip_warmup && config_.warmupPolicy == WarmupPolicy::Detailed &&
+        config_.warmupAccessesPerCore > 0;
+    const std::uint64_t initial_accesses = detailed_warmup
+                                               ? config_.warmupAccessesPerCore
+                                               : config_.accessesPerCore;
+
     cores_.reserve(config_.numCores);
     for (std::uint32_t c = 0; c < config_.numCores; ++c) {
         const std::uint32_t mlp =
             std::min(config_.maxMlp, profileFor(c).mlp);
         cores_.push_back(std::make_unique<CpuCore>(
-            c, make_source(c), config_.accessesPerCore,
+            c, make_source(c, skip_warmup), initial_accesses,
             config_.cyclesPerInstruction, mlp, config_.l3HitStall, *vm_,
             *llc_, *org_));
     }
@@ -130,6 +147,8 @@ System::System(const SystemConfig &config, OrgKind kind,
     org_->registerStats(registry_);
     vm_->registerStats(registry_);
     llc_->registerStats(registry_);
+    if (!skip_warmup)
+        registry_.add(warmupAccesses_);
 
     for (auto &core : cores_)
         kernel_.addAgent(core.get());
@@ -156,8 +175,118 @@ System::unbindEvents()
 }
 
 void
+System::ensureWarmup()
+{
+    if (warmupDone_)
+        return;
+    warmupDone_ = true;
+    if (config_.warmupAccessesPerCore == 0 ||
+        config_.warmupPolicy == WarmupPolicy::Skip)
+        return;
+    if (config_.warmupPolicy == WarmupPolicy::Functional)
+        runFunctionalWarmup();
+    else
+        runDetailedWarmup();
+    enterMeasuredRegion();
+}
+
+void
+System::runFunctionalWarmup()
+{
+    const std::uint64_t warmup = config_.warmupAccessesPerCore;
+    const std::size_t n = cores_.size();
+    const std::size_t batch = std::clamp<std::size_t>(
+        config_.functionalRefillBatch, 1, 4096);
+
+    // One prefetch ring per core, all in one flat allocation. The
+    // replay is record-major round robin — round r feeds record r of
+    // every core, matching the Skip-mode contract that per-core streams
+    // are independent — so the interleaving (and therefore every
+    // architectural state update) is invariant to the batch size.
+    std::vector<Access> buf(n * batch);
+    struct Lane
+    {
+        Access *cur;
+        Access *end;
+    };
+    std::vector<Lane> lanes(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        Access *base = buf.data() + c * batch;
+        lanes[c] = {base, base};
+    }
+
+    for (std::uint64_t rec = 0; rec < warmup; ++rec) {
+        for (std::size_t c = 0; c < n; ++c) {
+            Lane &lane = lanes[c];
+            if (lane.cur == lane.end) {
+                // Never pull past the warmup prefix: the measured
+                // region must start exactly at record `warmup`.
+                const auto len = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(batch, warmup - rec));
+                Access *base = buf.data() + c * batch;
+                cores_[c]->warmupRefill(base, len);
+                lane = {base, base + len};
+            }
+            functionalAccess(static_cast<std::uint32_t>(c), *lane.cur++);
+        }
+    }
+}
+
+void
+System::functionalAccess(std::uint32_t core, const Access &acc)
+{
+    // Same component order as CpuCore::step()/finishAccess(), minus all
+    // timing: VM translation (page table, frame allocation, fault
+    // accounting), shared L3 (tags + replacement), then the
+    // organization's functional path for the miss — dirty writeback
+    // first, then the demand fill (write misses allocate via a read;
+    // the dirty bit lives in the L3).
+    const Translation tr =
+        vm_->translate(0, core, pageOf(acc.vaddr), acc.isWrite);
+    const LineAddr phys_line =
+        std::uint64_t{tr.frame} * kLinesPerPage +
+        (lineOf(acc.vaddr) & (kLinesPerPage - 1));
+
+    const CacheAccessResult res = llc_->access(phys_line, acc.isWrite);
+    if (res.hit)
+        return;
+    if (res.hasWriteback)
+        org_->accessFunctional(res.writebackLine, true, acc.pc, core);
+    org_->accessFunctional(phys_line, false, acc.pc, core);
+}
+
+void
+System::runDetailedWarmup()
+{
+    // The cores were constructed with the warmup as their trace; a
+    // plain kernel run retires it through the full timing model and
+    // drains every in-flight completion before returning. The step
+    // budget (maxKernelSteps) and kernelSteps accounting are measured-
+    // region properties, so neither applies here.
+    bindEvents();
+    kernel_.run();
+    unbindEvents();
+}
+
+void
+System::enterMeasuredRegion()
+{
+    // The switch barrier (DESIGN.md §13). Warmup has drained; discard
+    // everything that only describes *when* things happened — DRAM
+    // bank/bus reservations, controller queues, the protocol auditor's
+    // clock — and every statistic accumulated so far, keeping all
+    // architectural state (LLT, predictors, tags, page tables, heat).
+    org_->resetTiming();
+    registry_.resetAll();
+    for (auto &core : cores_)
+        core->beginMeasurement(config_.accessesPerCore);
+    warmupAccesses_.inc(config_.warmupAccessesPerCore * cores_.size());
+}
+
+void
 System::runSegment(std::uint64_t target_accesses)
 {
+    ensureWarmup();
     bindEvents();
     std::uint64_t budget = ~std::uint64_t{0};
     if (config_.maxKernelSteps != 0) {
@@ -230,6 +359,7 @@ System::run()
         r.instructions += core->instructions();
         r.accesses += core->accesses();
     }
+    r.warmupAccesses = warmupAccesses_.value();
 
     r.l3Hits = llc_->hits();
     r.l3Misses = llc_->misses();
@@ -278,6 +408,8 @@ System::save(SnapshotWriter &w) const
     for (const WorkloadProfile &p : profiles_)
         w.str(p.name);
     w.u64(kernelSteps_);
+    w.u8(static_cast<std::uint8_t>(config_.warmupPolicy));
+    w.b(warmupDone_);
     w.endSection();
 
     w.beginSection("stats");
@@ -327,6 +459,8 @@ System::restore(SnapshotReader &r)
     for (std::uint32_t i = 0; i < nProfiles && r.ok(); ++i)
         names.push_back(r.str());
     const std::uint64_t steps = r.u64();
+    const auto policy = static_cast<WarmupPolicy>(r.u8());
+    const bool warmup_done = r.b();
     if (!r.leaveSection())
         return;
 
@@ -352,6 +486,13 @@ System::restore(SnapshotReader &r)
     }
     if (warmup != config_.warmupAccessesPerCore) {
         r.fail("system: warmup length mismatch (streams would diverge)");
+        return;
+    }
+    if (policy != config_.warmupPolicy) {
+        r.fail("system: warmup policy mismatch (snapshot ran '" +
+               std::string(warmupPolicyName(policy)) +
+               "' warmup, this config uses '" +
+               warmupPolicyName(config_.warmupPolicy) + "')");
         return;
     }
     if (accesses > config_.accessesPerCore) {
@@ -383,6 +524,21 @@ System::restore(SnapshotReader &r)
         }
     }
     kernelSteps_ = steps;
+    warmupDone_ = warmup_done;
+
+    // Snapshot taken after the warmup switch: replay the switch on the
+    // fresh cores before their sections load. beginMeasurement()
+    // re-targets Detailed-policy cores (constructed with the warmup as
+    // their trace) to the measured length, and the cursor fast-forward
+    // composes with the per-core skip(processed_) in CpuCore::restore()
+    // to land the source at warmup + processed_.
+    if (warmupDone_ && config_.warmupPolicy != WarmupPolicy::Skip &&
+        config_.warmupAccessesPerCore > 0) {
+        for (auto &core : cores_) {
+            core->beginMeasurement(config_.accessesPerCore);
+            core->skipWarmup(config_.warmupAccessesPerCore);
+        }
+    }
 
     if (!r.enterSection("stats"))
         return;

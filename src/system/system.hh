@@ -47,6 +47,15 @@ struct RunResult
 
     std::uint64_t instructions = 0;
     std::uint64_t accesses = 0;
+
+    /**
+     * Accesses consumed warming state before the measured region
+     * (summed over cores). 0 under WarmupPolicy::Skip — skipped
+     * records never touch the simulated machine. Not included in
+     * accesses or any other measured statistic.
+     */
+    std::uint64_t warmupAccesses = 0;
+
     std::uint64_t l3Hits = 0;
     std::uint64_t l3Misses = 0;
 
@@ -183,6 +192,38 @@ class System
     static constexpr std::uint64_t kNoTarget = ~std::uint64_t{0};
     void runSegment(std::uint64_t target_accesses);
 
+    /**
+     * Run the warmup phase once, before the first kernel segment
+     * (DESIGN.md §13). Skip policy does nothing (sources were
+     * fast-forwarded at construction). Functional replays the warmup
+     * records through the tight functional loop; Detailed runs them
+     * through the full timing model. Both then pass the switch barrier
+     * (enterMeasuredRegion) into detailed mode.
+     */
+    void ensureWarmup();
+
+    /** Batch-refilled, record-major round-robin functional replay of
+     *  the warmup prefix of every core's stream. */
+    void runFunctionalWarmup();
+
+    /** Full-timing warmup: cores run their warmup-length trace to
+     *  completion (a natural drain barrier). The kernel step budget
+     *  and kernelSteps accounting apply to the measured region only. */
+    void runDetailedWarmup();
+
+    /**
+     * The warmup→measured switch: reset DRAM timing state (banks,
+     * buses, queues, protocol auditor), zero every registered
+     * statistic, and rewind each core's execution progress — the
+     * measured region starts from a cold pipeline over warm
+     * architectural state. Also credits fidelity.warmupAccesses.
+     */
+    void enterMeasuredRegion();
+
+    /** One record through VM -> L3 -> organization at functional
+     *  fidelity (same call order as CpuCore::finishAccess). */
+    void functionalAccess(std::uint32_t core, const Access &acc);
+
     SystemConfig config_;
     OrgKind kind_;
     std::vector<WorkloadProfile> profiles_;
@@ -200,6 +241,15 @@ class System
     std::uint64_t kernelSteps_ = 0;
     bool truncated_ = false;
     bool finished_ = false;
+
+    /** Warmup phase already executed (or not configured). */
+    bool warmupDone_ = false;
+
+    /** Registered only under a non-Skip warmup policy, so Skip-mode
+     *  stat dumps (the golden configurations) are unchanged. */
+    Counter warmupAccesses_{"fidelity.warmupAccesses",
+                            "accesses consumed warming state before "
+                            "the measured region"};
 };
 
 /** Convenience: build a System and run it. */

@@ -70,20 +70,6 @@ FrameAllocator::selectVictim()
     return clockHand_;
 }
 
-void
-FrameAllocator::touch(std::uint32_t frame)
-{
-    assert(frame < frames_.size() && frames_[frame].valid);
-    frames_[frame].refBit = true;
-}
-
-void
-FrameAllocator::markDirty(std::uint32_t frame)
-{
-    assert(frame < frames_.size() && frames_[frame].valid);
-    frames_[frame].dirty = true;
-}
-
 std::optional<FrameOwner>
 FrameAllocator::ownerOf(std::uint32_t frame) const
 {

@@ -14,6 +14,7 @@
 #ifndef CAMEO_VM_FRAME_ALLOCATOR_HH
 #define CAMEO_VM_FRAME_ALLOCATOR_HH
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -69,11 +70,20 @@ class FrameAllocator
      */
     FrameAllocation allocate(std::uint32_t core, PageAddr vpage);
 
-    /** Mark a frame referenced (sets its reference bit). */
-    void touch(std::uint32_t frame);
+    /** Mark a frame referenced (sets its reference bit). Inline: this
+     *  runs once per simulated access on the translation fast path. */
+    void touch(std::uint32_t frame)
+    {
+        assert(frame < frames_.size() && frames_[frame].valid);
+        frames_[frame].refBit = true;
+    }
 
     /** Mark a frame's page dirty. */
-    void markDirty(std::uint32_t frame);
+    void markDirty(std::uint32_t frame)
+    {
+        assert(frame < frames_.size() && frames_[frame].valid);
+        frames_[frame].dirty = true;
+    }
 
     /** Number of frames currently free. */
     std::uint32_t freeFrames() const

@@ -21,24 +21,11 @@ VirtualMemory::VirtualMemory(std::uint64_t visible_bytes, Tick fault_latency,
 }
 
 Translation
-VirtualMemory::translate(Tick now, std::uint32_t core, PageAddr vpage,
-                         bool is_write)
+VirtualMemory::translateSlow(Tick now, std::uint32_t core, PageAddr vpage,
+                             bool is_write)
 {
     Translation result;
     result.readyTick = now;
-
-    // Common case: the translation is cached. A hit still sets the
-    // frame's reference/dirty bits, so replacement behaves exactly as
-    // the page-table path would.
-    if (tlbEnabled_) {
-        if (const auto frame = tlb_.lookup(core, vpage)) {
-            result.frame = *frame;
-            allocator_.touch(*frame);
-            if (is_write)
-                allocator_.markDirty(*frame);
-            return result;
-        }
-    }
 
     if (const auto frame = pageTable_.lookup(core, vpage)) {
         result.frame = *frame;

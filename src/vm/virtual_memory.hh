@@ -80,10 +80,29 @@ class VirtualMemory
      * Translate (core, vpage) at time @p now, faulting the page in if
      * needed.
      *
+     * The TLB-hit common case is inline — one indexed load, a compare,
+     * and the frame's reference/dirty bookkeeping — because this runs
+     * once per simulated access in both fidelity modes. Misses fall
+     * through to the out-of-line page-table/fault path.
+     *
      * @param is_write Marks the frame dirty.
      */
     Translation translate(Tick now, std::uint32_t core, PageAddr vpage,
-                          bool is_write);
+                          bool is_write)
+    {
+        if (tlbEnabled_) {
+            if (const auto frame = tlb_.lookup(core, vpage)) {
+                Translation result;
+                result.readyTick = now;
+                result.frame = *frame;
+                allocator_.touch(*frame);
+                if (is_write)
+                    allocator_.markDirty(*frame);
+                return result;
+            }
+        }
+        return translateSlow(now, core, vpage, is_write);
+    }
 
     /** Register a page-mapped hook (at most one; TLM-Oracle uses it). */
     void setMapHook(MapHook hook) { mapHook_ = std::move(hook); }
@@ -117,6 +136,10 @@ class VirtualMemory
     const Counter &minorFaults() const { return minorFaults_; }
 
   private:
+    /** Page-table lookup / demand-fault path behind a TLB miss. */
+    Translation translateSlow(Tick now, std::uint32_t core, PageAddr vpage,
+                              bool is_write);
+
     FrameAllocator allocator_;
     PageTable pageTable_;
     TranslationCache tlb_;

@@ -69,6 +69,10 @@ inline const std::vector<
          }},
         {"accesses",
          [](const RunResult &r) { return std::to_string(r.accesses); }},
+        {"warmupAccesses",
+         [](const RunResult &r) {
+             return std::to_string(r.warmupAccesses);
+         }},
         {"l3Hits",
          [](const RunResult &r) { return std::to_string(r.l3Hits); }},
         {"l3Misses",

@@ -77,6 +77,7 @@ expectSameResult(const RunResult &expect, const RunResult &actual,
     EXPECT_EQ(expect.truncated, actual.truncated) << what;
     EXPECT_EQ(expect.instructions, actual.instructions) << what;
     EXPECT_EQ(expect.accesses, actual.accesses) << what;
+    EXPECT_EQ(expect.warmupAccesses, actual.warmupAccesses) << what;
     EXPECT_EQ(expect.l3Hits, actual.l3Hits) << what;
     EXPECT_EQ(expect.l3Misses, actual.l3Misses) << what;
     EXPECT_EQ(expect.stackedBytes, actual.stackedBytes) << what;

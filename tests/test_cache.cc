@@ -76,8 +76,8 @@ TEST(SetAssocCacheTest, DirtyEvictionProducesWriteback)
     cache.access(7, true);                    // dirty
     const auto res = cache.access(7 + 64, false);
     EXPECT_FALSE(res.hit);
-    ASSERT_TRUE(res.writeback.has_value());
-    EXPECT_EQ(*res.writeback, 7u);
+    ASSERT_TRUE(res.hasWriteback);
+    EXPECT_EQ(res.writebackLine, 7u);
     EXPECT_EQ(cache.writebacks().value(), 1u);
 }
 
@@ -87,7 +87,7 @@ TEST(SetAssocCacheTest, CleanEvictionSilent)
     cache.access(7, false); // clean
     const auto res = cache.access(7 + 64, false);
     EXPECT_FALSE(res.hit);
-    EXPECT_FALSE(res.writeback.has_value());
+    EXPECT_FALSE(res.hasWriteback);
 }
 
 TEST(SetAssocCacheTest, WriteMarksDirtyOnHit)
@@ -96,7 +96,7 @@ TEST(SetAssocCacheTest, WriteMarksDirtyOnHit)
     cache.access(7, false); // clean fill
     cache.access(7, true);  // dirty it
     const auto res = cache.access(7 + 64, false);
-    ASSERT_TRUE(res.writeback.has_value());
+    ASSERT_TRUE(res.hasWriteback);
 }
 
 TEST(SetAssocCacheTest, LruOrderWithinSet)

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Golden-stats regression test for the switchable-fidelity path: the
+ * same 2-workload x {Baseline, Cache, CAMEO} matrix as test_golden.cc,
+ * but every run warms 10,000 accesses per core at functional fidelity
+ * before its 10,000 measured accesses (DESIGN.md §13). The reference
+ * (tests/golden/golden_stats_functional.json) pins both the measured
+ * statistics after a warm start and the warmupAccesses accounting, so
+ * any drift in the functional access path — a missed predictor update,
+ * a divergent swap decision, a wrong switch barrier — fails with a
+ * readable per-stat diff.
+ *
+ * Regenerate after an *intentional* behaviour change:
+ *
+ *     CAMEO_UPDATE_GOLDEN=1 ./build/tests/test_golden_functional
+ *
+ * and commit the rewritten JSON together with the change that moved
+ * the numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "golden_common.hh"
+
+#ifndef CAMEO_GOLDEN_STATS_FUNCTIONAL_PATH
+#error "CAMEO_GOLDEN_STATS_FUNCTIONAL_PATH must be defined by the build"
+#endif
+
+namespace cameo
+{
+namespace
+{
+
+/** The pinned matrix: half the trace warmed functionally, half
+ *  measured detailed. */
+SystemConfig
+goldenFunctionalConfig()
+{
+    SystemConfig config = defaultConfig();
+    config.warmupAccessesPerCore = 10'000;
+    config.accessesPerCore = 10'000;
+    config.warmupPolicy = WarmupPolicy::Functional;
+    return config;
+}
+
+TEST(GoldenStatsFunctionalTest, MatrixMatchesCheckedInReference)
+{
+    golden::compareAgainstReference(
+        golden::simulateGoldenMatrix(goldenFunctionalConfig()),
+        CAMEO_GOLDEN_STATS_FUNCTIONAL_PATH);
+}
+
+TEST(GoldenStatsFunctionalTest, ReferenceCoversTheFullMatrix)
+{
+    golden::expectFullCoverage(CAMEO_GOLDEN_STATS_FUNCTIONAL_PATH);
+}
+
+} // namespace
+} // namespace cameo

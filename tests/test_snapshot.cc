@@ -101,7 +101,7 @@ TEST(SnapshotFormatTest, MagicAndVersionArePinned)
     // The on-disk format contract: changing any of these without
     // bumping kSnapshotVersion silently breaks every saved checkpoint.
     EXPECT_EQ(std::string(kSnapshotMagic, 8), "CAMEOSNP");
-    EXPECT_EQ(kSnapshotVersion, 1u);
+    EXPECT_EQ(kSnapshotVersion, 2u);
 
     const std::vector<std::uint8_t> blob = handcraftedBlob();
     ASSERT_GE(blob.size(), 16u);
