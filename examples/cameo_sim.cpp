@@ -9,8 +9,10 @@
  *   cameo_sim --list
  *
  * Flags:
- *   --org         baseline|cache|tlm-static|tlm-dynamic|tlm-freq|
- *                 tlm-oracle|doubleuse|cameo|cameo-freq   (default cameo)
+ *   --org         any name from --list-orgs, matched case-
+ *                 insensitively: baseline|cache|tlm-static|
+ *                 tlm-dynamic|tlm-freq|tlm-oracle|doubleuse|cameo|
+ *                 cameo-freq|banshee                      (default cameo)
  *   --workload    Table II benchmark name                  (default milc)
  *   --accesses    L3-level accesses per core               (default 200000)
  *   --max-steps   kernel step limit, 0 = unlimited         (default 0)
@@ -68,10 +70,13 @@
  *   --json        machine-readable stats (implies --dump-stats)
  *   --csv         CSV stats with percentiles (implies --dump-stats)
  *   --list        list workloads and exit
+ *   --list-orgs   list organizations with their composed mapping and
+ *                 placement policies (DESIGN.md §14) and exit
  */
 
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -86,32 +91,6 @@ namespace
 {
 
 using namespace cameo;
-
-bool
-parseOrg(const std::string &s, OrgKind &out)
-{
-    if (s == "baseline")
-        out = OrgKind::Baseline;
-    else if (s == "cache")
-        out = OrgKind::AlloyCache;
-    else if (s == "tlm-static")
-        out = OrgKind::TlmStatic;
-    else if (s == "tlm-dynamic")
-        out = OrgKind::TlmDynamic;
-    else if (s == "tlm-freq")
-        out = OrgKind::TlmFreq;
-    else if (s == "tlm-oracle")
-        out = OrgKind::TlmOracle;
-    else if (s == "doubleuse")
-        out = OrgKind::DoubleUse;
-    else if (s == "cameo")
-        out = OrgKind::Cameo;
-    else if (s == "cameo-freq")
-        out = OrgKind::CameoFreq;
-    else
-        return false;
-    return true;
-}
 
 } // namespace
 
@@ -129,11 +108,25 @@ main(int argc, char **argv)
         return EXIT_SUCCESS;
     }
 
-    OrgKind kind = OrgKind::Cameo;
-    if (!parseOrg(cli.getString("org", "cameo"), kind)) {
-        std::cerr << "unknown --org\n";
+    if (cli.getBool("list-orgs")) {
+        for (const OrgKind k : allOrgKinds()) {
+            const OrgComposition comp = orgComposition(k);
+            std::cout << orgKindName(k) << " (mapping: " << comp.mapping
+                      << ", placement: " << comp.placement << ")\n";
+        }
+        return EXIT_SUCCESS;
+    }
+
+    const std::string org_name = cli.getString("org", "cameo");
+    const std::optional<OrgKind> parsed = orgKindFromName(org_name);
+    if (!parsed) {
+        std::cerr << "unknown --org \"" << org_name << "\"; valid names:";
+        for (const OrgKind k : allOrgKinds())
+            std::cerr << ' ' << orgKindName(k);
+        std::cerr << " (see --list-orgs)\n";
         return EXIT_FAILURE;
     }
+    const OrgKind kind = *parsed;
     const WorkloadProfile *profile =
         findWorkload(cli.getString("workload", "milc"));
     if (profile == nullptr) {

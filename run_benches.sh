@@ -19,7 +19,7 @@ if [ ! -d build/bench ]; then
     echo "Build first:  cmake -B build -S . && cmake --build build -j" >&2
     exit 1
 fi
-for b in fig02_motivation perf_hotpath perf_queue perf_warmup; do
+for b in fig02_motivation perf_hotpath perf_queue perf_warmup perf_banshee; do
     if [ ! -x "build/bench/$b" ]; then
         echo "error: build/bench/$b missing or not executable." >&2
         echo "Rebuild:  cmake --build build -j" >&2
@@ -72,6 +72,8 @@ run_bench "bench/perf_queue (queued contention -> BENCH_queue.json)" \
     perf_queue
 run_bench "bench/perf_warmup (functional warmup speedup -> BENCH_warmup.json)" \
     perf_warmup
+run_bench "bench/perf_banshee (replacement traffic -> BENCH_banshee.json)" \
+    perf_banshee
 
 echo "===================================================================="
 echo "===== wall-clock summary"

@@ -85,6 +85,9 @@ prefixKey(const SystemConfig &config, OrgKind kind,
     appendField(key, config.freqEpochAccesses);
     appendField(key, config.tlmVictimProbes);
     appendField(key, config.tlmMigrateThreshold);
+    appendField(key, config.bansheeSampleRate);
+    appendField(key, config.bansheeHotThreshold);
+    appendField(key, config.bansheePteCacheEntries);
     appendField(key, config.scaleFactor);
     appendField(key, config.warmupAccessesPerCore);
     appendField(key, static_cast<std::uint64_t>(config.warmupPolicy));

@@ -27,8 +27,7 @@ AlloyCacheOrg::AlloyCacheOrg(const OrgConfig &config,
       stacked_("dram.stacked", tadTimings(config.stacked),
                config.stackedBytes),
       offchip_("dram.offchip", config.offchip, backing_bytes),
-      numSets_(config.stackedBytes / kLineBytes / 32 * kTadsPerRow),
-      sets_(numSets_),
+      tags_(config.stackedBytes / kLineBytes / 32 * kTadsPerRow),
       map_(std::size_t{config.numCores} * kMapEntries, 0),
       hits_("alloy.hits", "DRAM cache hits"),
       misses_("alloy.misses", "DRAM cache misses"),
@@ -37,7 +36,6 @@ AlloyCacheOrg::AlloyCacheOrg(const OrgConfig &config,
       wastedFetches_("alloy.wastedFetches",
                      "parallel off-chip fetches that were not needed")
 {
-    assert(numSets_ != 0);
     applyTimingConfig(config);
 }
 
@@ -71,8 +69,8 @@ AlloyCacheOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
                       std::uint32_t core)
 {
     assert(line < offchip_.capacityLines());
-    const std::uint64_t set_idx = line % numSets_;
-    Set &set = sets_[set_idx];
+    const std::uint64_t set_idx = tags_.setIndexOf(line);
+    TadTagMapping::Entry &set = tags_.setFor(line);
     const bool hit = set.valid && set.tag == line;
 
     if (is_write) {
@@ -136,8 +134,7 @@ AlloyCacheOrg::accessFunctional(LineAddr line, bool is_write, InstAddr pc,
                                 std::uint32_t core)
 {
     assert(line < offchip_.capacityLines());
-    const std::uint64_t set_idx = line % numSets_;
-    Set &set = sets_[set_idx];
+    TadTagMapping::Entry &set = tags_.setFor(line);
     const bool hit = set.valid && set.tag == line;
 
     if (is_write) {
@@ -189,12 +186,7 @@ void
 AlloyCacheOrg::save(SnapshotWriter &w) const
 {
     MemoryOrganization::save(w);
-    w.u64(numSets_);
-    for (const Set &s : sets_) {
-        w.u64(s.tag);
-        w.b(s.valid);
-        w.b(s.dirty);
-    }
+    tags_.save(w);
     w.vecU8(map_);
 }
 
@@ -202,20 +194,9 @@ void
 AlloyCacheOrg::restore(SnapshotReader &r)
 {
     MemoryOrganization::restore(r);
-    const std::uint64_t sets = r.u64();
+    tags_.restore(r);
     if (!r.ok())
         return;
-    if (sets != numSets_) {
-        r.fail("cache org: set count mismatch: snapshot has " +
-               std::to_string(sets) + ", this cache has " +
-               std::to_string(numSets_));
-        return;
-    }
-    for (Set &s : sets_) {
-        s.tag = r.u64();
-        s.valid = r.b();
-        s.dirty = r.b();
-    }
     std::vector<std::uint8_t> map;
     r.vecU8(map);
     if (!r.ok())

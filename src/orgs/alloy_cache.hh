@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "orgs/memory_organization.hh"
+#include "orgs/policy/tad_tag_mapping.hh"
 
 namespace cameo
 {
@@ -64,7 +65,10 @@ class AlloyCacheOrg : public MemoryOrganization
     DramModule &offchipModule() override { return offchip_; }
     const DramModule &offchipModule() const override { return offchip_; }
 
-    std::uint64_t numSets() const { return numSets_; }
+    std::uint64_t numSets() const { return tags_.numSets(); }
+
+    /** The tag-array mapping policy (composition introspection). */
+    const TadTagMapping &tagMapping() const { return tags_; }
 
     /** Hit fraction among demand reads so far. */
     double hitRate() const;
@@ -85,17 +89,11 @@ class AlloyCacheOrg : public MemoryOrganization
     void trainPredictor(std::uint32_t core, InstAddr pc, bool hit);
     std::size_t mapIndex(std::uint32_t core, InstAddr pc) const;
 
-    struct Set
-    {
-        LineAddr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
     DramModule stacked_;
     DramModule offchip_;
-    std::uint64_t numSets_;
-    std::vector<Set> sets_;
+
+    /** Direct-mapped TAD tags (the extracted mapping policy). */
+    TadTagMapping tags_;
 
     /** Per-core 3-bit saturating hit counters, 256 entries each. */
     static constexpr std::uint32_t kMapEntries = 256;

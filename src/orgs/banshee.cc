@@ -1,0 +1,32 @@
+#include "orgs/banshee.hh"
+
+#include <memory>
+
+#include "orgs/policy/pte_cached_mapping.hh"
+#include "orgs/policy/sampling_freq_placement.hh"
+
+namespace cameo
+{
+
+namespace
+{
+
+std::uint64_t
+totalPagesOf(const OrgConfig &config)
+{
+    return (config.stackedBytes + config.offchipBytes) / kPageBytes;
+}
+
+} // namespace
+
+BansheeOrg::BansheeOrg(const OrgConfig &config)
+    : ComposedOrg(config, "Banshee",
+                  std::make_unique<PteCachedPageMapping>(
+                      totalPagesOf(config), config.numCores, config.banshee),
+                  std::make_unique<SamplingFrequencyPlacement>(
+                      config.stackedBytes / kPageBytes, totalPagesOf(config),
+                      config.banshee, config.freq.epochAccesses, config.seed))
+{
+}
+
+} // namespace cameo

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Banshee (Yu et al., MICRO 2017): stacked DRAM as OS-visible memory
+ * with page-table-tracked residency and frequency-based replacement.
+ *
+ * Composition: pte-cached-remap mapping x sampling-frequency placement.
+ * Where CAMEO swaps a line (or TLM-Dynamic a page) on nearly every
+ * off-chip access, Banshee updates sampled frequency counters and
+ * migrates a page only when its count beats a probed victim's by a
+ * margin — trading a little placement agility for a large reduction in
+ * replacement traffic, which the Queued-mode bus-byte statistics make
+ * directly visible (EXPERIMENTS.md).
+ */
+
+#ifndef CAMEO_ORGS_BANSHEE_HH
+#define CAMEO_ORGS_BANSHEE_HH
+
+#include "orgs/composed_org.hh"
+
+namespace cameo
+{
+
+/** PTE-cached mapping + sampled frequency-admission placement. */
+class BansheeOrg : public ComposedOrg
+{
+  public:
+    explicit BansheeOrg(const OrgConfig &config);
+};
+
+} // namespace cameo
+
+#endif // CAMEO_ORGS_BANSHEE_HH

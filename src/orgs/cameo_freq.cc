@@ -1,35 +1,22 @@
 #include "orgs/cameo_freq.hh"
 
-#include <algorithm>
-
 namespace cameo
 {
 
 CameoFreqOrg::CameoFreqOrg(const OrgConfig &config)
     : CameoOrg(config, "CAMEO-Freq"),
-      pageCount_((config.stackedBytes + config.offchipBytes) / kPageBytes,
-                 0),
-      epochLength_(config.freqEpochAccesses),
-      hotPages_("cameofreq.hotAdmissions",
-                "swap admissions from the hot-page filter")
+      filter_((config.stackedBytes + config.offchipBytes) / kPageBytes,
+              config.freq.epochAccesses)
 {
-    controller().setSwapFilter([this](LineAddr line) {
-        const PageAddr page = lineToPage(line);
-        if (page >= pageCount_.size())
-            return true; // defensive: unknown pages swap as stock CAMEO
-        if (pageCount_[page] >= kHotThreshold) {
-            hotPages_.inc();
-            return true;
-        }
-        return false;
-    });
+    controller().setSwapFilter(
+        [this](LineAddr line) { return filter_.shouldAdmit(line); });
 }
 
 Tick
 CameoFreqOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
                      std::uint32_t core)
 {
-    noteAccess(line);
+    filter_.noteAccess(line);
     return CameoOrg::access(now, line, is_write, pc, core);
 }
 
@@ -37,58 +24,29 @@ void
 CameoFreqOrg::accessFunctional(LineAddr line, bool is_write, InstAddr pc,
                                std::uint32_t core)
 {
-    noteAccess(line);
+    filter_.noteAccess(line);
     CameoOrg::accessFunctional(line, is_write, pc, core);
-}
-
-void
-CameoFreqOrg::noteAccess(LineAddr line)
-{
-    const PageAddr page = lineToPage(line);
-    if (page < pageCount_.size() && pageCount_[page] < 255)
-        ++pageCount_[page];
-    if (++accessesThisEpoch_ >= epochLength_) {
-        accessesThisEpoch_ = 0;
-        decay();
-    }
-}
-
-void
-CameoFreqOrg::decay()
-{
-    for (auto &c : pageCount_)
-        c = static_cast<std::uint8_t>(c >> 1);
 }
 
 void
 CameoFreqOrg::registerStats(StatRegistry &registry)
 {
     CameoOrg::registerStats(registry);
-    registry.add(hotPages_);
+    filter_.registerStats(registry);
 }
 
 void
 CameoFreqOrg::save(SnapshotWriter &w) const
 {
     CameoOrg::save(w);
-    w.vecU8(pageCount_);
-    w.u64(accessesThisEpoch_);
+    filter_.save(w);
 }
 
 void
 CameoFreqOrg::restore(SnapshotReader &r)
 {
     CameoOrg::restore(r);
-    std::vector<std::uint8_t> counts;
-    r.vecU8(counts);
-    if (!r.ok())
-        return;
-    if (counts.size() != pageCount_.size()) {
-        r.fail("cameo-freq: page counter table size mismatch");
-        return;
-    }
-    pageCount_ = std::move(counts);
-    accessesThisEpoch_ = r.u64();
+    filter_.restore(r);
 }
 
 } // namespace cameo

@@ -5,20 +5,19 @@
  * available, CAMEO can retain lines from only heavily used pages in
  * stacked DRAM."
  *
- * A hardware page-access counter table (epoch-decayed, as TLM-Freq
- * would maintain) feeds CAMEO's swap admission: lines of pages that
- * have not yet proven hot are serviced from off-chip memory *in place*
- * — no swap, no victim write — so streaming or single-touch pages stop
- * churning the stacked slots and the victim-writeback bandwidth is
- * saved. Everything else is stock CAMEO.
+ * Composition: llt-line-swap mapping (CameoController's fused hot
+ * path) x freq-admission placement. The extracted
+ * FreqAdmissionPlacement maintains the epoch-decayed page-access
+ * counters and feeds CAMEO's swap admission: lines of pages that have
+ * not yet proven hot are serviced from off-chip memory *in place* — no
+ * swap, no victim write. Everything else is stock CAMEO.
  */
 
 #ifndef CAMEO_ORGS_CAMEO_FREQ_HH
 #define CAMEO_ORGS_CAMEO_FREQ_HH
 
-#include <vector>
-
 #include "orgs/cameo_org.hh"
+#include "orgs/policy/freq_admission_placement.hh"
 
 namespace cameo
 {
@@ -28,7 +27,8 @@ class CameoFreqOrg : public CameoOrg
 {
   public:
     /** Page touches within the decay window required to admit swaps. */
-    static constexpr std::uint32_t kHotThreshold = 4;
+    static constexpr std::uint32_t kHotThreshold =
+        FreqAdmissionPlacement::kHotThreshold;
 
     explicit CameoFreqOrg(const OrgConfig &config);
 
@@ -40,25 +40,15 @@ class CameoFreqOrg : public CameoOrg
 
     void registerStats(StatRegistry &registry) override;
 
-    const Counter &hotPages() const { return hotPages_; }
+    const Counter &hotPages() const { return filter_.hotPages(); }
 
-    /** Checkpointable: CAMEO state + page counters, epoch progress. */
+    /** Checkpointable: CAMEO state + the admission filter's counters. */
     void save(SnapshotWriter &w) const override;
     void restore(SnapshotReader &r) override;
 
   private:
-    /** Heat bookkeeping shared by both fidelities: bump the page's
-     *  saturating counter and decay at epoch boundaries. */
-    void noteAccess(LineAddr line);
-
-    /** Halve all counters (called every epoch of demand accesses). */
-    void decay();
-
-    std::vector<std::uint8_t> pageCount_; ///< Saturating, per OS page.
-    std::uint64_t epochLength_;
-    std::uint64_t accessesThisEpoch_ = 0;
-
-    Counter hotPages_;
+    /** The admission policy (owns counters, epoch decay, stats). */
+    FreqAdmissionPlacement filter_;
 };
 
 } // namespace cameo

@@ -12,7 +12,7 @@ DramTimings
 CameoOrg::stackedTimingsFor(const OrgConfig &config)
 {
     DramTimings t = config.stacked;
-    if (config.lltKind == LltKind::CoLocated) {
+    if (config.llt.kind == LltKind::CoLocated) {
         // 31 LEADs per 2KB row (Figure 7).
         t.linesPerRow = LeadLayout::kLeadsPerRow;
     }
@@ -22,7 +22,7 @@ CameoOrg::stackedTimingsFor(const OrgConfig &config)
 std::uint64_t
 CameoOrg::stackedModuleBytes(const OrgConfig &config)
 {
-    if (config.lltKind == LltKind::Embedded) {
+    if (config.llt.kind == LltKind::Embedded) {
         // Model the reserved LLT region as additional device lines so
         // LLT lookups contend for real banks and buses; the capacity
         // cost is charged against visible bytes instead.
@@ -42,7 +42,7 @@ CameoOrg::computeVisibleBytes(const OrgConfig &config)
 {
     const std::uint64_t total = config.stackedBytes + config.offchipBytes;
     std::uint64_t reserve = 0;
-    switch (config.lltKind) {
+    switch (config.llt.kind) {
       case LltKind::Ideal:
         reserve = 0;
         break;
@@ -62,15 +62,15 @@ CameoOrg::computeVisibleBytes(const OrgConfig &config)
 }
 
 CameoOrg::CameoOrg(const OrgConfig &config, std::string name)
-    : MemoryOrganization(name.empty() ? variantName(config.lltKind,
-                                                    config.predictorKind)
+    : MemoryOrganization(name.empty() ? variantName(config.llt.kind,
+                                                    config.llt.predictor)
                                       : std::move(name)),
       stacked_("dram.stacked", stackedTimingsFor(config),
                stackedModuleBytes(config)),
       offchip_("dram.offchip", config.offchip, config.offchipBytes),
       controller_(
-          CameoParams{config.lltKind, config.predictorKind,
-                      config.numCores, config.llpTableEntries},
+          CameoParams{config.llt.kind, config.llt.predictor,
+                      config.numCores, config.llt.llpTableEntries},
           stacked_, offchip_, config.stackedBytes / kLineBytes,
           (config.stackedBytes + config.offchipBytes) / kLineBytes),
       visibleBytes_(computeVisibleBytes(config))

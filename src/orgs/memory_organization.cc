@@ -1,8 +1,10 @@
 #include "orgs/memory_organization.hh"
 
 #include <cassert>
+#include <cctype>
 
 #include "orgs/alloy_cache.hh"
+#include "orgs/banshee.hh"
 #include "orgs/baseline.hh"
 #include "orgs/cameo_freq.hh"
 #include "orgs/cameo_org.hh"
@@ -180,11 +182,33 @@ MemoryOrganization::onPageMapped(std::uint32_t frame, std::uint32_t core,
     (void)vpage;
 }
 
-void
+bool
 MemoryOrganization::setPageHeat(PageHeatMap heat)
 {
     (void)heat;
-    assert(false && "this organization does not take page-heat oracles");
+    return false;
+}
+
+const char *
+OrgConfig::validate() const
+{
+    if (stackedBytes == 0)
+        return "stackedBytes must be nonzero";
+    if (stackedBytes % kPageBytes != 0)
+        return "stackedBytes must be a whole number of pages";
+    if (offchipBytes % kPageBytes != 0)
+        return "offchipBytes must be a whole number of pages";
+    if (numCores == 0)
+        return "numCores must be nonzero";
+    if (const char *err = llt.validate())
+        return err;
+    if (const char *err = freq.validate())
+        return err;
+    if (const char *err = migrate.validate())
+        return err;
+    if (const char *err = banshee.validate())
+        return err;
+    return nullptr;
 }
 
 const char *
@@ -209,8 +233,80 @@ orgKindName(OrgKind kind)
         return "CAMEO";
       case OrgKind::CameoFreq:
         return "CAMEO-Freq";
+      case OrgKind::Banshee:
+        return "Banshee";
     }
     return "Unknown";
+}
+
+namespace
+{
+
+/** ASCII case-insensitive string equality (CLI org spellings). */
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto la = std::tolower(static_cast<unsigned char>(a[i]));
+        const auto lb = std::tolower(static_cast<unsigned char>(b[i]));
+        if (la != lb)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<OrgKind>
+orgKindFromName(std::string_view name)
+{
+    for (const OrgKind kind : allOrgKinds()) {
+        if (iequals(name, orgKindName(kind)))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+const std::vector<OrgKind> &
+allOrgKinds()
+{
+    static const std::vector<OrgKind> kinds = {
+        OrgKind::Baseline,  OrgKind::AlloyCache, OrgKind::TlmStatic,
+        OrgKind::TlmDynamic, OrgKind::TlmFreq,   OrgKind::TlmOracle,
+        OrgKind::DoubleUse, OrgKind::Cameo,      OrgKind::CameoFreq,
+        OrgKind::Banshee,
+    };
+    return kinds;
+}
+
+OrgComposition
+orgComposition(OrgKind kind)
+{
+    switch (kind) {
+      case OrgKind::Baseline:
+        return {"identity", "none"};
+      case OrgKind::AlloyCache:
+        return {"tad-tags", "install-on-miss"};
+      case OrgKind::TlmStatic:
+        return {"identity", "static"};
+      case OrgKind::TlmDynamic:
+        return {"page-remap", "nth-touch-migrate"};
+      case OrgKind::TlmFreq:
+        return {"page-remap", "epoch-frequency"};
+      case OrgKind::TlmOracle:
+        return {"page-remap", "oracle-heat"};
+      case OrgKind::DoubleUse:
+        return {"tad-tags", "install-on-miss"};
+      case OrgKind::Cameo:
+        return {"llt-line-swap", "mru-swap"};
+      case OrgKind::CameoFreq:
+        return {"llt-line-swap", "freq-admission"};
+      case OrgKind::Banshee:
+        return {"pte-cached-remap", "sampling-frequency"};
+    }
+    return {"unknown", "unknown"};
 }
 
 std::unique_ptr<MemoryOrganization>
@@ -236,6 +332,8 @@ makeOrganization(OrgKind kind, const OrgConfig &config)
         return std::make_unique<CameoOrg>(config);
       case OrgKind::CameoFreq:
         return std::make_unique<CameoFreqOrg>(config);
+      case OrgKind::Banshee:
+        return std::make_unique<BansheeOrg>(config);
     }
     return nullptr;
 }

@@ -23,7 +23,9 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "check/audit.hh"
@@ -32,10 +34,11 @@
 #include "dram/dram_module.hh"
 #include "dram/queue_config.hh"
 #include "dram/timings.hh"
+#include "orgs/policy/page_heat.hh"
+#include "orgs/policy/policy_config.hh"
 #include "sim/event_queue.hh"
 #include "sim/mem_request.hh"
 #include "stats/registry.hh"
-#include "util/flat_map.hh"
 #include "util/types.hh"
 #if CAMEO_AUDIT_ENABLED
 #include "check/queue_auditor.hh"
@@ -57,10 +60,39 @@ enum class OrgKind
     Cameo,      ///< The paper's proposal.
     CameoFreq,  ///< CAMEO + frequency-directed swap admission (the
                 ///< Section VI-D extension; see orgs/cameo_freq.hh).
+    Banshee,    ///< PTE-cached page mapping + sampling-counter
+                ///< frequency placement (Yu et al., MICRO 2017; see
+                ///< orgs/banshee.hh).
 };
 
 /** Printable name of an organization kind. */
 const char *orgKindName(OrgKind kind);
+
+/**
+ * Inverse of orgKindName: parse @p name (case-insensitively, so CLI
+ * spellings like "tlm-static" and "cameo-freq" work) into a kind.
+ * Empty optional for unknown names.
+ */
+std::optional<OrgKind> orgKindFromName(std::string_view name);
+
+/** Every OrgKind, in enum order (CLI listings, test matrices). */
+const std::vector<OrgKind> &allOrgKinds();
+
+/**
+ * The mapping x placement pair an organization kind composes
+ * (DESIGN.md §14). For ComposedOrg-based kinds these are live
+ * PolicyName strings; for the monolith-hosted kinds (Baseline, the
+ * Alloy family, the CAMEO family) they name the policy the org's
+ * fused hot path implements.
+ */
+struct OrgComposition
+{
+    const char *mapping;
+    const char *placement;
+};
+
+/** Composition table entry for @p kind. */
+OrgComposition orgComposition(OrgKind kind);
 
 /** Everything needed to construct any organization. */
 struct OrgConfig
@@ -72,24 +104,11 @@ struct OrgConfig
     std::uint32_t numCores = 8;
     std::uint64_t seed = 42;
 
-    /** CAMEO design point (Figures 9 and 12). */
-    LltKind lltKind = LltKind::CoLocated;
-    PredictorKind predictorKind = PredictorKind::Llp;
-    std::uint32_t llpTableEntries = 256;
-
-    /** TLM-Freq epoch length in demand accesses. */
-    std::uint64_t freqEpochAccesses = 64 * 1024;
-
-    /** TLM-Dynamic victim probes (approximate-LRU width). */
-    std::uint32_t tlmVictimProbes = 8;
-
-    /**
-     * TLM-Dynamic migration hysteresis: an off-chip page migrates into
-     * stacked memory on its Nth access while off-chip. 1 = migrate on
-     * first touch (maximally aggressive); 2 filters one-touch pages,
-     * the standard OS guard against migration thrash.
-     */
-    std::uint32_t tlmMigrateThreshold = 2;
+    /** Per-policy design points (orgs/policy/policy_config.hh). */
+    LltPolicyConfig llt;
+    FreqPolicyConfig freq;
+    MigratePolicyConfig migrate;
+    BansheePolicyConfig banshee;
 
     /**
      * Memory-pipeline timing mode. Blocking reproduces the original
@@ -100,18 +119,13 @@ struct OrgConfig
 
     /** DRAM controller queue geometry (Queued timing only). */
     DramQueueConfig queues;
+
+    /**
+     * First violated constraint across the shared fields and every
+     * policy sub-config; nullptr when the whole config is valid.
+     */
+    const char *validate() const;
 };
-
-/** Oracular page heat keyed by (core, vpage); see TlmOracleOrg. Open
- *  addressing (util/flat_map.hh): probed on every page-map event. */
-using PageHeatMap = FlatMap<std::uint64_t, std::uint64_t>;
-
-/** Key for PageHeatMap entries. */
-constexpr std::uint64_t
-pageHeatKey(std::uint32_t core, PageAddr vpage)
-{
-    return (static_cast<std::uint64_t>(core) << 48) | vpage;
-}
 
 /** Base class for all stacked-DRAM usage models. */
 class MemoryOrganization : public Checkpointable
@@ -229,8 +243,13 @@ class MemoryOrganization : public Checkpointable
     /** CAMEO controller, if this organization is CAMEO. */
     virtual const CameoController *cameo() const { return nullptr; }
 
-    /** Inject oracular page heat (TLM-Oracle only; others assert). */
-    virtual void setPageHeat(PageHeatMap heat);
+    /**
+     * Inject oracular page heat. Returns true when the organization's
+     * placement consumed the oracle (TLM-Oracle); false when it takes
+     * none — callers that require the oracle report that as an error
+     * rather than asserting.
+     */
+    virtual bool setPageHeat(PageHeatMap heat);
 
     /**
      * Checkpointable: the base serializes the transaction-id cursor,

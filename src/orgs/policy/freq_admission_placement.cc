@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Frequency-admission filter implementation.
+ */
+
+#include "orgs/policy/freq_admission_placement.hh"
+
+#include <utility>
+
+namespace cameo
+{
+
+FreqAdmissionPlacement::FreqAdmissionPlacement(std::uint64_t total_pages,
+                                               std::uint64_t epoch_accesses)
+    : pageCount_(total_pages, 0), epochLength_(epoch_accesses),
+      hotPages_("cameofreq.hotAdmissions",
+                "swap admissions from the hot-page filter")
+{
+}
+
+void
+FreqAdmissionPlacement::noteAccess(LineAddr line)
+{
+    const PageAddr page = lineToPage(line);
+    if (page < pageCount_.size() && pageCount_[page] < 255)
+        ++pageCount_[page];
+    if (++accessesThisEpoch_ >= epochLength_) {
+        accessesThisEpoch_ = 0;
+        decay();
+    }
+}
+
+bool
+FreqAdmissionPlacement::shouldAdmit(LineAddr line)
+{
+    const PageAddr page = lineToPage(line);
+    if (page >= pageCount_.size())
+        return true; // defensive: unknown pages swap as stock CAMEO
+    if (pageCount_[page] >= kHotThreshold) {
+        hotPages_.inc();
+        return true;
+    }
+    return false;
+}
+
+void
+FreqAdmissionPlacement::decay()
+{
+    for (auto &c : pageCount_)
+        c = static_cast<std::uint8_t>(c >> 1);
+}
+
+void
+FreqAdmissionPlacement::registerStats(StatRegistry &registry)
+{
+    registry.add(hotPages_);
+}
+
+void
+FreqAdmissionPlacement::save(SnapshotWriter &w) const
+{
+    w.vecU8(pageCount_);
+    w.u64(accessesThisEpoch_);
+}
+
+void
+FreqAdmissionPlacement::restore(SnapshotReader &r)
+{
+    std::vector<std::uint8_t> counts;
+    r.vecU8(counts);
+    if (!r.ok())
+        return;
+    if (counts.size() != pageCount_.size()) {
+        r.fail("cameo-freq: page counter table size mismatch");
+        return;
+    }
+    pageCount_ = std::move(counts);
+    accessesThisEpoch_ = r.u64();
+}
+
+} // namespace cameo

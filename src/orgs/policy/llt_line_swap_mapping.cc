@@ -1,0 +1,66 @@
+/**
+ * @file
+ * LLT line-swap mapping implementation.
+ */
+
+#include "orgs/policy/llt_line_swap_mapping.hh"
+
+#include <cassert>
+
+namespace cameo
+{
+
+LltLineSwapMapping::LltLineSwapMapping(std::uint64_t stacked_lines,
+                                       std::uint64_t total_lines)
+    : llt_(stacked_lines,
+           static_cast<std::uint32_t>(total_lines / stacked_lines))
+{
+    assert(stacked_lines != 0 && total_lines % stacked_lines == 0);
+    assert(total_lines / stacked_lines >= 2);
+}
+
+std::uint64_t
+LltLineSwapMapping::deviceLineOf(LineAddr line) const
+{
+    const std::uint64_t group = line % llt_.numGroups();
+    const auto slot = static_cast<std::uint32_t>(line / llt_.numGroups());
+    assert(slot < llt_.groupSize());
+    const std::uint32_t loc = llt_.locationOf(group, slot);
+    if (loc == 0)
+        return group; // stacked slot of this congruence group
+    return llt_.numGroups() +
+           (static_cast<std::uint64_t>(loc) - 1) * llt_.numGroups() + group;
+}
+
+bool
+LltLineSwapMapping::inStacked(LineAddr line) const
+{
+    const std::uint64_t group = line % llt_.numGroups();
+    const auto slot = static_cast<std::uint32_t>(line / llt_.numGroups());
+    return llt_.locationOf(group, slot) == 0;
+}
+
+void
+LltLineSwapMapping::swapWithStacked(LineAddr line)
+{
+    const std::uint64_t group = line % llt_.numGroups();
+    const auto slot = static_cast<std::uint32_t>(line / llt_.numGroups());
+    const std::uint32_t resident = llt_.slotAt(group, 0);
+    if (resident == slot)
+        return; // already the stacked resident
+    llt_.swapSlots(group, slot, resident);
+}
+
+void
+LltLineSwapMapping::save(SnapshotWriter &w) const
+{
+    llt_.save(w);
+}
+
+void
+LltLineSwapMapping::restore(SnapshotReader &r)
+{
+    llt_.restore(r);
+}
+
+} // namespace cameo

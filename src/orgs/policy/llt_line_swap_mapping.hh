@@ -1,0 +1,67 @@
+/**
+ * @file
+ * LLT line-swap mapping: CAMEO's line-granular congruence-group
+ * mapping expressed as a MappingPolicy over a LineLocationTable.
+ *
+ * Lines are grouped by `group = line % numGroups` with
+ * `slot = line / numGroups`; location 0 of each group is the stacked
+ * slot, locations 1..K-1 are off-chip. CameoController keeps its own
+ * LLT fused into its hot path (the translation's *storage* cost —
+ * SRAM/embedded/co-located LEAD — is the controller's business); this
+ * adapter is the standalone, unit-testable form of the same mapping
+ * used by the policy test suite and the composition table.
+ */
+
+#ifndef CAMEO_ORGS_POLICY_LLT_LINE_SWAP_MAPPING_HH
+#define CAMEO_ORGS_POLICY_LLT_LINE_SWAP_MAPPING_HH
+
+#include <cstdint>
+
+#include "core/line_location_table.hh"
+#include "orgs/policy/mapping_policy.hh"
+
+namespace cameo
+{
+
+/** Line-granular swap mapping backed by a LineLocationTable. */
+class LltLineSwapMapping final : public MappingPolicy
+{
+  public:
+    /**
+     * @param stacked_lines Congruence groups (stacked capacity in lines).
+     * @param total_lines   Lines across both levels; must be a multiple
+     *                      of @p stacked_lines (K = total/stacked).
+     */
+    LltLineSwapMapping(std::uint64_t stacked_lines,
+                       std::uint64_t total_lines);
+
+    const char *policyName() const override { return "llt-line-swap"; }
+
+    /**
+     * Device line currently holding OS-physical @p line: the stacked
+     * line `group` when its location is 0, else off-chip line
+     * `(loc - 1) * numGroups + group`, offset past the stacked range.
+     */
+    std::uint64_t deviceLineOf(LineAddr line) const;
+
+    /** True if @p line currently resides in stacked DRAM. */
+    bool inStacked(LineAddr line) const;
+
+    /** Swap @p line with the current stacked resident of its group. */
+    void swapWithStacked(LineAddr line);
+
+    std::uint64_t numGroups() const { return llt_.numGroups(); }
+    std::uint32_t groupSize() const { return llt_.groupSize(); }
+    const LineLocationTable &llt() const { return llt_; }
+
+    /** Checkpointable: the full location table. */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
+  private:
+    LineLocationTable llt_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_ORGS_POLICY_LLT_LINE_SWAP_MAPPING_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Oracular page-heat map shared by the placement policies and the
+ * System profiling pass.
+ *
+ * Heat is keyed by (core, vpage) packed into one 64-bit word: the core
+ * id occupies the top 16 bits, the virtual page number the low 48. The
+ * packing is audited — a vpage at or above 2^48 would silently alias
+ * into another core's keyspace and corrupt the oracle.
+ */
+
+#ifndef CAMEO_ORGS_POLICY_PAGE_HEAT_HH
+#define CAMEO_ORGS_POLICY_PAGE_HEAT_HH
+
+#include <cstdint>
+
+#include "check/audit.hh"
+#include "util/flat_map.hh"
+#include "util/types.hh"
+
+namespace cameo
+{
+
+/** Oracular page heat keyed by (core, vpage); see OracleHeatPlacement.
+ *  Open addressing (util/flat_map.hh): probed on every page-map event. */
+using PageHeatMap = FlatMap<std::uint64_t, std::uint64_t>;
+
+/** Key for PageHeatMap entries. Audited: vpage must fit in 48 bits or
+ *  the key would collide with another core's keyspace. */
+constexpr std::uint64_t
+pageHeatKey(std::uint32_t core, PageAddr vpage)
+{
+    CAMEO_AUDIT(vpage < (std::uint64_t{1} << 48),
+                "pageHeatKey: vpage >= 2^48 aliases into another core's "
+                "keyspace");
+    return (static_cast<std::uint64_t>(core) << 48) | vpage;
+}
+
+} // namespace cameo
+
+#endif // CAMEO_ORGS_POLICY_PAGE_HEAT_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Page-remap mapping implementation (the old TlmRemapBase tables).
+ */
+
+#include "orgs/policy/page_remap_mapping.hh"
+
+#include <cassert>
+#include <numeric>
+#include <utility>
+
+#include "check/audit.hh"
+
+namespace cameo
+{
+
+PageRemapMapping::PageRemapMapping(std::uint64_t total_pages)
+{
+    physToDev_.resize(total_pages);
+    devToPhys_.resize(total_pages);
+    std::iota(physToDev_.begin(), physToDev_.end(), 0u);
+    std::iota(devToPhys_.begin(), devToPhys_.end(), 0u);
+}
+
+std::uint64_t
+PageRemapMapping::devicePageOf(PageAddr phys_page) const
+{
+    assert(phys_page < physToDev_.size());
+    return physToDev_[phys_page];
+}
+
+PageAddr
+PageRemapMapping::physPageAt(std::uint64_t device_page) const
+{
+    assert(device_page < devToPhys_.size());
+    return devToPhys_[device_page];
+}
+
+void
+PageRemapMapping::swapMapping(PageAddr phys_a, PageAddr phys_b)
+{
+    assert(phys_a < physToDev_.size() && phys_b < physToDev_.size());
+    const std::uint32_t dev_a = physToDev_[phys_a];
+    const std::uint32_t dev_b = physToDev_[phys_b];
+    std::swap(physToDev_[phys_a], physToDev_[phys_b]);
+    devToPhys_[dev_a] = static_cast<std::uint32_t>(phys_b);
+    devToPhys_[dev_b] = static_cast<std::uint32_t>(phys_a);
+    CAMEO_AUDIT(devToPhys_[physToDev_[phys_a]] == phys_a &&
+                    devToPhys_[physToDev_[phys_b]] == phys_b,
+                "page-remap: swap broke the phys<->device bijection");
+}
+
+void
+PageRemapMapping::save(SnapshotWriter &w) const
+{
+    w.vecU32(physToDev_);
+    w.vecU32(devToPhys_);
+}
+
+void
+PageRemapMapping::restore(SnapshotReader &r)
+{
+    std::vector<std::uint32_t> p2d;
+    std::vector<std::uint32_t> d2p;
+    r.vecU32(p2d);
+    r.vecU32(d2p);
+    if (!r.ok())
+        return;
+    if (p2d.size() != physToDev_.size() || d2p.size() != devToPhys_.size()) {
+        r.fail("tlm: remap table size mismatch");
+        return;
+    }
+    physToDev_ = std::move(p2d);
+    devToPhys_ = std::move(d2p);
+    CAMEO_AUDIT(bijectionHolds(),
+                "page-remap: restored tables are not a bijection");
+}
+
+bool
+PageRemapMapping::bijectionHolds() const
+{
+    for (std::size_t i = 0; i < physToDev_.size(); ++i) {
+        if (physToDev_[i] >= devToPhys_.size() ||
+            devToPhys_[physToDev_[i]] != i)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cameo

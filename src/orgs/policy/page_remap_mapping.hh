@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Page-table page-remap mapping, extracted from the old TlmRemapBase.
+ *
+ * Maintains the OS-physical page -> device page bijection (and its
+ * inverse) that every migrating TLM variant shares. Pure bookkeeping:
+ * traffic for an actual page move is billed by the placement policy
+ * through PlacementContext::billPageSwap.
+ */
+
+#ifndef CAMEO_ORGS_POLICY_PAGE_REMAP_MAPPING_HH
+#define CAMEO_ORGS_POLICY_PAGE_REMAP_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "orgs/policy/mapping_policy.hh"
+
+namespace cameo
+{
+
+/** Mutable page remap table: starts as the identity mapping. */
+class PageRemapMapping : public PageMappingPolicy
+{
+  public:
+    explicit PageRemapMapping(std::uint64_t total_pages);
+
+    const char *policyName() const override { return "page-remap"; }
+
+    std::uint64_t devicePageOf(PageAddr phys_page) const override;
+    PageAddr physPageAt(std::uint64_t device_page) const override;
+    void swapMapping(PageAddr phys_a, PageAddr phys_b) override;
+
+    std::uint64_t totalPages() const { return physToDev_.size(); }
+
+    /** Checkpointable: both remap directions. */
+    void save(SnapshotWriter &w) const override;
+    void restore(SnapshotReader &r) override;
+
+  private:
+    /** Full O(n) bijection check, for CAMEO_AUDIT on bulk updates. */
+    bool bijectionHolds() const;
+
+    std::vector<std::uint32_t> physToDev_;
+    std::vector<std::uint32_t> devToPhys_;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_ORGS_POLICY_PAGE_REMAP_MAPPING_HH

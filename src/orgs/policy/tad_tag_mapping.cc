@@ -1,0 +1,50 @@
+/**
+ * @file
+ * TAD tag-array mapping implementation.
+ */
+
+#include "orgs/policy/tad_tag_mapping.hh"
+
+#include <cassert>
+#include <string>
+
+namespace cameo
+{
+
+TadTagMapping::TadTagMapping(std::uint64_t num_sets)
+    : numSets_(num_sets), sets_(num_sets)
+{
+    assert(numSets_ != 0);
+}
+
+void
+TadTagMapping::save(SnapshotWriter &w) const
+{
+    w.u64(numSets_);
+    for (const Entry &s : sets_) {
+        w.u64(s.tag);
+        w.b(s.valid);
+        w.b(s.dirty);
+    }
+}
+
+void
+TadTagMapping::restore(SnapshotReader &r)
+{
+    const std::uint64_t sets = r.u64();
+    if (!r.ok())
+        return;
+    if (sets != numSets_) {
+        r.fail("cache org: set count mismatch: snapshot has " +
+               std::to_string(sets) + ", this cache has " +
+               std::to_string(numSets_));
+        return;
+    }
+    for (Entry &s : sets_) {
+        s.tag = r.u64();
+        s.valid = r.b();
+        s.dirty = r.b();
+    }
+}
+
+} // namespace cameo

@@ -1,145 +1,31 @@
 #include "orgs/tlm_dynamic.hh"
 
-#include <algorithm>
-#include <cassert>
-#include <numeric>
+#include <memory>
+
+#include "orgs/policy/nth_touch_placement.hh"
+#include "orgs/policy/page_remap_mapping.hh"
 
 namespace cameo
 {
 
-TlmRemapBase::TlmRemapBase(const OrgConfig &config, std::string name)
-    : TlmStaticOrg(config, std::move(name))
+namespace
 {
-    physToDev_.resize(totalPages_);
-    devToPhys_.resize(totalPages_);
-    std::iota(physToDev_.begin(), physToDev_.end(), 0u);
-    std::iota(devToPhys_.begin(), devToPhys_.end(), 0u);
-}
 
 std::uint64_t
-TlmRemapBase::devicePageOf(PageAddr phys_page) const
+totalPagesOf(const OrgConfig &config)
 {
-    assert(phys_page < physToDev_.size());
-    return physToDev_[phys_page];
+    return (config.stackedBytes + config.offchipBytes) / kPageBytes;
 }
 
-void
-TlmRemapBase::swapMapping(PageAddr phys_a, PageAddr phys_b)
-{
-    assert(phys_a < physToDev_.size() && phys_b < physToDev_.size());
-    const std::uint32_t dev_a = physToDev_[phys_a];
-    const std::uint32_t dev_b = physToDev_[phys_b];
-    std::swap(physToDev_[phys_a], physToDev_[phys_b]);
-    devToPhys_[dev_a] = static_cast<std::uint32_t>(phys_b);
-    devToPhys_[dev_b] = static_cast<std::uint32_t>(phys_a);
-}
+} // namespace
 
 TlmDynamicOrg::TlmDynamicOrg(const OrgConfig &config)
-    : TlmRemapBase(config, "TLM-Dynamic"),
-      stackedLastUse_(stackedPages_, 0), touchCount_(totalPages_, 0),
-      victimProbes_(config.tlmVictimProbes),
-      migrateThreshold_(std::max(1u, config.tlmMigrateThreshold)),
-      rng_(config.seed ^ 0xD15C)
+    : ComposedOrg(config, "TLM-Dynamic",
+                  std::make_unique<PageRemapMapping>(totalPagesOf(config)),
+                  std::make_unique<NthTouchMigratePlacement>(
+                      config.stackedBytes / kPageBytes, totalPagesOf(config),
+                      config.migrate, config.seed))
 {
-}
-
-std::uint64_t
-TlmDynamicOrg::selectVictim()
-{
-    // Oldest of victimProbes_ random stacked device pages (approximate
-    // LRU, standing in for the OS's page-age bookkeeping).
-    std::uint64_t victim = rng_.next(stackedPages_);
-    for (std::uint32_t p = 1; p < victimProbes_; ++p) {
-        const std::uint64_t cand = rng_.next(stackedPages_);
-        if (stackedLastUse_[cand] < stackedLastUse_[victim])
-            victim = cand;
-    }
-    return victim;
-}
-
-void
-TlmDynamicOrg::postAccess(Tick when, PageAddr phys_page,
-                          std::uint64_t device_page, bool is_write,
-                          Fidelity fidelity)
-{
-    (void)is_write;
-    const std::uint64_t stamp = ++accessSeq_;
-    if (inStacked(device_page)) {
-        stackedLastUse_[device_page] = stamp;
-        touchCount_[phys_page] = 0;
-        return;
-    }
-    // Off-chip access: migrate the page into stacked memory once it
-    // has shown it is live (migrateThreshold_ touches), swapping with
-    // a not-recently-used victim.
-    if (++touchCount_[phys_page] < migrateThreshold_)
-        return;
-    touchCount_[phys_page] = 0;
-    const std::uint64_t victim_dev = selectVictim();
-    billPageSwap(when, device_page, victim_dev, fidelity);
-    swapMapping(phys_page, physPageAt(victim_dev));
-    stackedLastUse_[victim_dev] = stamp;
-}
-
-void
-TlmRemapBase::save(SnapshotWriter &w) const
-{
-    MemoryOrganization::save(w);
-    w.vecU32(physToDev_);
-    w.vecU32(devToPhys_);
-}
-
-void
-TlmRemapBase::restore(SnapshotReader &r)
-{
-    MemoryOrganization::restore(r);
-    std::vector<std::uint32_t> p2d;
-    std::vector<std::uint32_t> d2p;
-    r.vecU32(p2d);
-    r.vecU32(d2p);
-    if (!r.ok())
-        return;
-    if (p2d.size() != physToDev_.size() || d2p.size() != devToPhys_.size()) {
-        r.fail("tlm: remap table size mismatch");
-        return;
-    }
-    physToDev_ = std::move(p2d);
-    devToPhys_ = std::move(d2p);
-}
-
-void
-TlmDynamicOrg::save(SnapshotWriter &w) const
-{
-    TlmRemapBase::save(w);
-    w.vecU64(stackedLastUse_);
-    w.vecU8(touchCount_);
-    for (const std::uint64_t s : rng_.state())
-        w.u64(s);
-    w.u64(accessSeq_);
-}
-
-void
-TlmDynamicOrg::restore(SnapshotReader &r)
-{
-    TlmRemapBase::restore(r);
-    std::vector<Tick> lastUse;
-    std::vector<std::uint8_t> touches;
-    r.vecU64(lastUse);
-    r.vecU8(touches);
-    if (!r.ok())
-        return;
-    if (lastUse.size() != stackedLastUse_.size() ||
-        touches.size() != touchCount_.size()) {
-        r.fail("tlm-dynamic: LRU/touch table size mismatch");
-        return;
-    }
-    stackedLastUse_ = std::move(lastUse);
-    touchCount_ = std::move(touches);
-    Rng::State rngState;
-    for (std::uint64_t &s : rngState)
-        s = r.u64();
-    rng_.setState(rngState);
-    accessSeq_ = r.u64();
 }
 
 } // namespace cameo

@@ -1,97 +1,28 @@
 /**
  * @file
- * TLM with OS page migration.
- *
- * TlmRemapBase adds the page-remap machinery (OS-physical page ->
- * device page, both directions) shared by every migrating TLM variant.
- *
- * TlmDynamicOrg is the paper's TLM-Dynamic (Section II-C): on an access
- * to a page resident off-chip, the OS swaps that 4KB page with a
- * not-recently-used victim page in stacked memory. Each swap costs 16KB
- * of memory activity — the bandwidth bloat that makes TLM-Dynamic lose
- * to CAMEO on workloads with poor within-page locality (milc) and on
+ * TLM-Dynamic (Section II-C): on an access to a page resident
+ * off-chip, the OS swaps that 4KB page with a not-recently-used victim
+ * page in stacked memory. Each swap costs 16KB of memory activity —
+ * the bandwidth bloat that makes TLM-Dynamic lose to CAMEO on
+ * workloads with poor within-page locality (milc) and on
  * Capacity-Limited workloads.
+ *
+ * Composition: page-remap mapping x Nth-touch-migrate placement.
  */
 
 #ifndef CAMEO_ORGS_TLM_DYNAMIC_HH
 #define CAMEO_ORGS_TLM_DYNAMIC_HH
 
-#include <vector>
-
-#include "orgs/tlm_static.hh"
-#include "util/rng.hh"
+#include "orgs/composed_org.hh"
 
 namespace cameo
 {
 
-/** Routing base with a mutable page remap table. */
-class TlmRemapBase : public TlmStaticOrg
-{
-  public:
-    TlmRemapBase(const OrgConfig &config, std::string name);
-
-    /** Current device page of an OS-physical page (for tests). */
-    std::uint64_t devicePageOfPublic(PageAddr phys_page) const
-    {
-        return devicePageOf(phys_page);
-    }
-
-    /** Checkpointable: base state + both remap directions. */
-    void save(SnapshotWriter &w) const override;
-    void restore(SnapshotReader &r) override;
-
-  protected:
-    std::uint64_t devicePageOf(PageAddr phys_page) const override;
-
-    /**
-     * Exchange the device pages of two OS-physical pages (remap update
-     * only; traffic, if any, is billed separately by the caller).
-     */
-    void swapMapping(PageAddr phys_a, PageAddr phys_b);
-
-    /** OS-physical page currently occupying @p device_page. */
-    PageAddr physPageAt(std::uint64_t device_page) const
-    {
-        return devToPhys_[device_page];
-    }
-
-  private:
-    std::vector<std::uint32_t> physToDev_;
-    std::vector<std::uint32_t> devToPhys_;
-};
-
 /** TLM-Dynamic: swap-on-access page migration. */
-class TlmDynamicOrg : public TlmRemapBase
+class TlmDynamicOrg : public ComposedOrg
 {
   public:
     explicit TlmDynamicOrg(const OrgConfig &config);
-
-    /** Checkpointable: remap state + LRU stamps, touch counters, RNG. */
-    void save(SnapshotWriter &w) const override;
-    void restore(SnapshotReader &r) override;
-
-  protected:
-    void postAccess(Tick when, PageAddr phys_page,
-                    std::uint64_t device_page, bool is_write,
-                    Fidelity fidelity) override;
-
-  private:
-    /** Approximate-LRU victim: oldest of N random stacked pages. */
-    std::uint64_t selectVictim();
-
-    /**
-     * Recency is tracked in access-sequence numbers, not ticks: the
-     * OS's notion of "not recently used" is about reference order, and
-     * sequence stamps make victim selection identical across timing
-     * modes and fidelities (DESIGN.md §13) — tick stamps would tie
-     * within a batch and diverge between Blocking and Queued runs.
-     */
-    std::vector<std::uint64_t> stackedLastUse_; ///< Per stacked dev page.
-    std::vector<std::uint8_t> touchCount_; ///< Per OS page, saturating.
-    std::uint32_t victimProbes_;
-    std::uint32_t migrateThreshold_;
-    Rng rng_;
-    std::uint64_t accessSeq_ = 0; ///< Demand accesses observed so far.
 };
 
 } // namespace cameo

@@ -3,52 +3,31 @@
  * TLM-Freq (Section VI-D): hardware tracks page access frequency; the
  * OS periodically migrates the hottest pages into stacked memory.
  *
- * Per the paper we ignore TLB-shootdown and software sorting overheads
- * but fully model the page-transfer bandwidth. Counters decay by half
- * each epoch so the placement tracks phase changes.
+ * Composition: page-remap mapping x epoch-frequency placement. Per the
+ * paper we ignore TLB-shootdown and software sorting overheads but
+ * fully model the page-transfer bandwidth.
  */
 
 #ifndef CAMEO_ORGS_TLM_FREQ_HH
 #define CAMEO_ORGS_TLM_FREQ_HH
 
-#include <vector>
-
-#include "orgs/tlm_dynamic.hh"
+#include "orgs/composed_org.hh"
+#include "orgs/policy/epoch_freq_placement.hh"
 
 namespace cameo
 {
 
 /** Epoch-based frequency-directed page placement. */
-class TlmFreqOrg : public TlmRemapBase
+class TlmFreqOrg : public ComposedOrg
 {
   public:
     explicit TlmFreqOrg(const OrgConfig &config);
 
-    const Counter &epochs() const { return epochs_; }
-
-    /**
-     * Checkpointable: remap state + epoch progress and per-page access
-     * counters. The epoch counter is intentionally unregistered
-     * (bench-local telemetry), so its value travels here rather than in
-     * the snapshot's stats section.
-     */
-    void save(SnapshotWriter &w) const override;
-    void restore(SnapshotReader &r) override;
-
-  protected:
-    void postAccess(Tick when, PageAddr phys_page,
-                    std::uint64_t device_page, bool is_write,
-                    Fidelity fidelity) override;
+    const Counter &epochs() const { return freq_->epochs(); }
 
   private:
-    /** Re-place pages at an epoch boundary; bill migration traffic. */
-    void rebalance(Tick when, Fidelity fidelity);
-
-    std::uint64_t epochLength_;
-    std::uint64_t accessesThisEpoch_ = 0;
-    std::vector<std::uint32_t> pageCount_; ///< Per OS-physical page.
-
-    Counter epochs_;
+    /** The placement, concretely typed (owned by ComposedOrg). */
+    EpochFrequencyPlacement *freq_;
 };
 
 } // namespace cameo

@@ -4,55 +4,25 @@
  * access frequencies and places frequently used pages in stacked memory
  * up front, avoiding dynamic-migration overheads entirely.
  *
- * The oracle's knowledge comes from a profiling pass: the deterministic
- * workload generators are re-run standalone (profilePageHeat) and the
- * resulting per-(core, vpage) heat map is injected with setPageHeat
- * before simulation. When a virtual page becomes resident, its heat
- * decides whether it displaces the coldest currently-stacked page; the
- * remap change costs nothing, modelling ideal placement.
+ * Composition: page-remap mapping x oracle-heat placement. The heat
+ * map comes from a profiling pass (profilePageHeat) injected with
+ * setPageHeat before simulation; placement happens on page-map events
+ * at no modelled cost.
  */
 
 #ifndef CAMEO_ORGS_TLM_ORACLE_HH
 #define CAMEO_ORGS_TLM_ORACLE_HH
 
-#include <queue>
-#include <vector>
-
-#include "orgs/tlm_dynamic.hh"
+#include "orgs/composed_org.hh"
 
 namespace cameo
 {
 
 /** Oracular frequency-directed page placement. */
-class TlmOracleOrg : public TlmRemapBase
+class TlmOracleOrg : public ComposedOrg
 {
   public:
     explicit TlmOracleOrg(const OrgConfig &config);
-
-    void setPageHeat(PageHeatMap heat) override;
-
-    void onPageMapped(std::uint32_t frame, std::uint32_t core,
-                      PageAddr vpage) override;
-
-    /**
-     * Checkpointable: remap state + per-frame heat, the coldest-heap's
-     * exact array layout (ties pop in layout order, so the heap must be
-     * restored verbatim, not re-heapified), and the injected heat map.
-     */
-    void save(SnapshotWriter &w) const override;
-    void restore(SnapshotReader &r) override;
-
-  private:
-    /** Heat of the OS-physical page currently at each frame. */
-    std::vector<std::uint64_t> physHeat_;
-
-    /** Min-heap of (heat, phys page) for stacked residents, with lazy
-     *  invalidation (entries whose heat no longer matches are stale). */
-    using HeapEntry = std::pair<std::uint64_t, PageAddr>;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                        std::greater<>> coldest_;
-
-    PageHeatMap heat_;
 };
 
 } // namespace cameo

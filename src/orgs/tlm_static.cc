@@ -1,122 +1,16 @@
 #include "orgs/tlm_static.hh"
 
-#include <cassert>
+#include <memory>
+
+#include "orgs/policy/placement_policy.hh"
 
 namespace cameo
 {
 
-TlmStaticOrg::TlmStaticOrg(const OrgConfig &config, std::string name)
-    : MemoryOrganization(std::move(name)),
-      stacked_("dram.stacked", config.stacked, config.stackedBytes),
-      offchip_("dram.offchip", config.offchip, config.offchipBytes),
-      stackedPages_(config.stackedBytes / kPageBytes),
-      totalPages_((config.stackedBytes + config.offchipBytes) / kPageBytes),
-      servicedStacked_("tlm.servicedStacked",
-                       "accesses serviced by stacked DRAM"),
-      servicedOffchip_("tlm.servicedOffchip",
-                       "accesses serviced by off-chip DRAM"),
-      pageMigrations_("tlm.pageMigrations", "4KB page swaps performed")
+TlmStaticOrg::TlmStaticOrg(const OrgConfig &config)
+    : ComposedOrg(config, "TLM-Static", std::make_unique<IdentityMapping>(),
+                  std::make_unique<StaticPlacement>())
 {
-    assert(stackedPages_ != 0 && totalPages_ > stackedPages_);
-    applyTimingConfig(config);
-}
-
-std::uint64_t
-TlmStaticOrg::devicePageOf(PageAddr phys_page) const
-{
-    return phys_page; // identity: placement fixed at allocation
-}
-
-void
-TlmStaticOrg::postAccess(Tick when, PageAddr phys_page,
-                         std::uint64_t device_page, bool is_write,
-                         Fidelity fidelity)
-{
-    (void)when;
-    (void)phys_page;
-    (void)device_page;
-    (void)is_write;
-    (void)fidelity;
-}
-
-Tick
-TlmStaticOrg::routeLine(Tick now, std::uint64_t device_page,
-                        std::uint32_t line_in_page, bool is_write)
-{
-    assert(device_page < totalPages_);
-    if (inStacked(device_page)) {
-        servicedStacked_.inc();
-        return stacked_.request(now,
-                               device_page * kLinesPerPage + line_in_page,
-                               is_write, kLineBytes);
-    }
-    servicedOffchip_.inc();
-    const std::uint64_t off_line =
-        (device_page - stackedPages_) * kLinesPerPage + line_in_page;
-    return offchip_.request(now, off_line, is_write, kLineBytes);
-}
-
-Tick
-TlmStaticOrg::access(Tick now, LineAddr line, bool is_write, InstAddr pc,
-                     std::uint32_t core)
-{
-    (void)pc;
-    (void)core;
-    const PageAddr phys_page = lineToPage(line);
-    const std::uint64_t dev = devicePageOf(phys_page);
-    const auto line_in_page =
-        static_cast<std::uint32_t>(line & (kLinesPerPage - 1));
-    const Tick done = routeLine(now, dev, line_in_page, is_write);
-    // Migration traffic drains through writeback/fill queues; bill it
-    // at request time, off the demand critical path.
-    postAccess(now, phys_page, dev, is_write, Fidelity::Detailed);
-    return done;
-}
-
-void
-TlmStaticOrg::accessFunctional(LineAddr line, bool is_write, InstAddr pc,
-                               std::uint32_t core)
-{
-    (void)pc;
-    (void)core;
-    const PageAddr phys_page = lineToPage(line);
-    const std::uint64_t dev = devicePageOf(phys_page);
-    assert(dev < totalPages_);
-    // Same demand-routing accounting as routeLine, minus the module
-    // requests; then the same migration hook at functional fidelity.
-    (inStacked(dev) ? servicedStacked_ : servicedOffchip_).inc();
-    postAccess(0, phys_page, dev, is_write, Fidelity::Functional);
-}
-
-void
-TlmStaticOrg::billPageSwap(Tick when, std::uint64_t offchip_dev_page,
-                           std::uint64_t stacked_dev_page, Fidelity fidelity)
-{
-    assert(!inStacked(offchip_dev_page) && inStacked(stacked_dev_page));
-    if (fidelity == Fidelity::Detailed) {
-        const std::uint64_t off_base =
-            (offchip_dev_page - stackedPages_) * kLinesPerPage;
-        const std::uint64_t stk_base = stacked_dev_page * kLinesPerPage;
-        for (std::uint32_t i = 0; i < kLinesPerPage; ++i) {
-            // Page coming in: read off-chip, write stacked.
-            offchip_.request(when, off_base + i, false, kLineBytes);
-            stacked_.request(when, stk_base + i, true, kLineBytes);
-            // Victim going out: read stacked, write off-chip.
-            stacked_.request(when, stk_base + i, false, kLineBytes);
-            offchip_.request(when, off_base + i, true, kLineBytes);
-        }
-    }
-    pageMigrations_.inc();
-}
-
-void
-TlmStaticOrg::registerStats(StatRegistry &registry)
-{
-    stacked_.registerStats(registry);
-    offchip_.registerStats(registry);
-    registry.add(servicedStacked_);
-    registry.add(servicedOffchip_);
-    registry.add(pageMigrations_);
 }
 
 } // namespace cameo

@@ -3,101 +3,26 @@
  * TLM-Static: stacked DRAM as part of a flat OS-visible address space
  * with random, never-migrated page placement (Section II-B).
  *
- * Device routing: OS-physical pages map to "device pages"; device pages
- * below the stacked capacity live in stacked DRAM, the rest off-chip.
- * For TLM-Static the mapping is the identity — the randomization comes
- * from the frame allocator's shuffled free list, which scatters
+ * Composition: identity mapping x static placement. The randomization
+ * comes from the frame allocator's shuffled free list, which scatters
  * first-touch allocations uniformly (so about a quarter of pages land
- * in stacked memory, matching the paper's "randomly maps the pages").
- *
- * This class is also the routing base for the migrating TLM variants.
+ * in stacked memory, matching the paper's "randomly maps the pages");
+ * the org itself never translates or moves anything.
  */
 
 #ifndef CAMEO_ORGS_TLM_STATIC_HH
 #define CAMEO_ORGS_TLM_STATIC_HH
 
-#include "orgs/memory_organization.hh"
-#include "sim/fidelity.hh"
+#include "orgs/composed_org.hh"
 
 namespace cameo
 {
 
 /** Two-Level Memory with static random placement. */
-class TlmStaticOrg : public MemoryOrganization
+class TlmStaticOrg : public ComposedOrg
 {
   public:
-    explicit TlmStaticOrg(const OrgConfig &config,
-                          std::string name = "TLM-Static");
-
-    Tick access(Tick now, LineAddr line, bool is_write, InstAddr pc,
-                std::uint32_t core) override;
-
-    void accessFunctional(LineAddr line, bool is_write, InstAddr pc,
-                          std::uint32_t core) override;
-
-    std::uint64_t visibleBytes() const override
-    {
-        return stacked_.capacityBytes() + offchip_.capacityBytes();
-    }
-
-    void registerStats(StatRegistry &registry) override;
-
-    DramModule *stackedModule() override { return &stacked_; }
-    const DramModule *stackedModule() const override { return &stacked_; }
-    DramModule &offchipModule() override { return offchip_; }
-    const DramModule &offchipModule() const override { return offchip_; }
-
-    std::uint64_t stackedPages() const { return stackedPages_; }
-    std::uint64_t totalPages() const { return totalPages_; }
-
-    const Counter &servicedStacked() const { return servicedStacked_; }
-    const Counter &pageMigrations() const { return pageMigrations_; }
-
-  protected:
-    /** Device page an OS-physical page currently occupies. */
-    virtual std::uint64_t devicePageOf(PageAddr phys_page) const;
-
-    /**
-     * Hook after the demand access is serviced; migrating variants
-     * trigger their page movement here.
-     *
-     * @param when Demand request time (migration traffic is billed
-     *             from here — it uses the write/fill queues and stays
-     *             off the demand critical path).
-     * @param fidelity Functional runs make identical migration
-     *             decisions but bill no DRAM traffic; when is 0.
-     */
-    virtual void postAccess(Tick when, PageAddr phys_page,
-                            std::uint64_t device_page, bool is_write,
-                            Fidelity fidelity);
-
-    /** True if @p device_page resides in stacked DRAM. */
-    bool inStacked(std::uint64_t device_page) const
-    {
-        return device_page < stackedPages_;
-    }
-
-    /** Service a line of @p device_page from the right module. */
-    Tick routeLine(Tick now, std::uint64_t device_page,
-                   std::uint32_t line_in_page, bool is_write);
-
-    /**
-     * Bill the full 4KB page-swap traffic between an off-chip device
-     * page and a stacked device page (16KB of total memory activity:
-     * both modules read and write 4KB, Section II-C). Functional
-     * fidelity counts the migration without touching the modules.
-     */
-    void billPageSwap(Tick when, std::uint64_t offchip_dev_page,
-                      std::uint64_t stacked_dev_page, Fidelity fidelity);
-
-    DramModule stacked_;
-    DramModule offchip_;
-    std::uint64_t stackedPages_;
-    std::uint64_t totalPages_;
-
-    Counter servicedStacked_;
-    Counter servicedOffchip_;
-    Counter pageMigrations_;
+    explicit TlmStaticOrg(const OrgConfig &config);
 };
 
 } // namespace cameo

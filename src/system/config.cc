@@ -45,14 +45,18 @@ SystemConfig::orgConfig() const
     oc.offchip = offchip;
     oc.numCores = numCores;
     oc.seed = seed;
-    oc.lltKind = lltKind;
-    oc.predictorKind = predictorKind;
-    oc.llpTableEntries = llpTableEntries;
-    oc.freqEpochAccesses = freqEpochAccesses;
-    oc.tlmVictimProbes = tlmVictimProbes;
-    oc.tlmMigrateThreshold = tlmMigrateThreshold;
+    oc.llt.kind = lltKind;
+    oc.llt.predictor = predictorKind;
+    oc.llt.llpTableEntries = llpTableEntries;
+    oc.freq.epochAccesses = freqEpochAccesses;
+    oc.migrate.victimProbes = tlmVictimProbes;
+    oc.migrate.migrateThreshold = tlmMigrateThreshold;
+    oc.banshee.sampleRate = bansheeSampleRate;
+    oc.banshee.hotThreshold = bansheeHotThreshold;
+    oc.banshee.pteCacheEntries = bansheePteCacheEntries;
     oc.timingMode = timingMode;
     oc.queues = dramQueues;
+    assert(oc.validate() == nullptr && "invalid organization config");
     return oc;
 }
 

@@ -85,6 +85,9 @@ struct SystemConfig
     std::uint64_t freqEpochAccesses = 64 * 1024;
     std::uint32_t tlmVictimProbes = 8;
     std::uint32_t tlmMigrateThreshold = 2;
+    std::uint32_t bansheeSampleRate = 32;
+    std::uint32_t bansheeHotThreshold = 2;
+    std::uint32_t bansheePteCacheEntries = 128;
 
     // --- Workload ------------------------------------------------------
     /** Capacity scale factor versus the paper's 16GB system. */

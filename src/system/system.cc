@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "sim/kernel.hh"
 #include "trace/trace_arena.hh"
@@ -107,7 +108,10 @@ System::System(const SystemConfig &config, OrgKind kind,
                     heat[pageHeatKey(c, vpage)] += count;
             }
         }
-        org_->setPageHeat(std::move(heat));
+        if (!org_->setPageHeat(std::move(heat)))
+            throw std::runtime_error(
+                std::string(orgKindName(kind)) +
+                " does not take page-heat oracles");
     }
 
     vm_ = std::make_unique<VirtualMemory>(org_->visibleBytes(),

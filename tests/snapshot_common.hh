@@ -41,9 +41,10 @@ inline const std::vector<std::pair<std::string, OrgKind>> kAllOrgs{
     {"DoubleUse", OrgKind::DoubleUse},
     {"Cameo", OrgKind::Cameo},
     {"CameoFreq", OrgKind::CameoFreq},
+    {"Banshee", OrgKind::Banshee},
 };
 
-/** Short traces keep the 9-org x 2-timing matrix fast. */
+/** Short traces keep the 10-org x 2-timing matrix fast. */
 inline SystemConfig
 snapConfig(TimingMode mode)
 {

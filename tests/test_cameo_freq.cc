@@ -24,7 +24,7 @@ smallConfig()
     c.stackedBytes = 1 << 20;
     c.offchipBytes = 3 << 20;
     c.numCores = 2;
-    c.freqEpochAccesses = 1 << 20; // no decay during short tests
+    c.freq.epochAccesses = 1 << 20; // no decay during short tests
     return c;
 }
 

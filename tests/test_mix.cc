@@ -82,7 +82,8 @@ TEST(MixTest, AllOrgsHandleMixes)
     for (OrgKind kind :
          {OrgKind::Baseline, OrgKind::AlloyCache, OrgKind::TlmStatic,
           OrgKind::TlmDynamic, OrgKind::TlmFreq, OrgKind::TlmOracle,
-          OrgKind::DoubleUse, OrgKind::Cameo, OrgKind::CameoFreq}) {
+          OrgKind::DoubleUse, OrgKind::Cameo, OrgKind::CameoFreq,
+          OrgKind::Banshee}) {
         const RunResult r = runMix(mixConfig(), kind, mix);
         EXPECT_GT(r.execTime, 0u) << orgKindName(kind);
     }

@@ -31,17 +31,14 @@ smallConfig()
     c.offchipBytes = 3 << 20;
     c.numCores = 2;
     c.seed = 42;
-    c.freqEpochAccesses = 512;
+    c.freq.epochAccesses = 512;
     return c;
 }
 
 TEST(OrgFactoryTest, BuildsEveryKind)
 {
     const OrgConfig c = smallConfig();
-    for (OrgKind kind :
-         {OrgKind::Baseline, OrgKind::AlloyCache, OrgKind::TlmStatic,
-          OrgKind::TlmDynamic, OrgKind::TlmFreq, OrgKind::TlmOracle,
-          OrgKind::DoubleUse, OrgKind::Cameo}) {
+    for (OrgKind kind : allOrgKinds()) {
         const auto org = makeOrganization(kind, c);
         ASSERT_NE(org, nullptr) << orgKindName(kind);
         EXPECT_FALSE(org->name().empty());
@@ -65,18 +62,18 @@ TEST(OrgVisibilityTest, CapacityAccountingMatchesPaper)
               c.stackedBytes + c.offchipBytes);
     // CAMEO (Co-Located) loses 1/32 of stacked to LEAD entries.
     OrgConfig cam = c;
-    cam.lltKind = LltKind::CoLocated;
+    cam.llt.kind = LltKind::CoLocated;
     const std::uint64_t visible =
         makeOrganization(OrgKind::Cameo, cam)->visibleBytes();
     EXPECT_EQ(visible, (c.stackedBytes + c.offchipBytes -
                         c.stackedBytes / 32) /
                            kPageBytes * kPageBytes);
     // Ideal LLT: no loss.
-    cam.lltKind = LltKind::Ideal;
+    cam.llt.kind = LltKind::Ideal;
     EXPECT_EQ(makeOrganization(OrgKind::Cameo, cam)->visibleBytes(),
               c.stackedBytes + c.offchipBytes);
     // Embedded: loses the LLT region (1 byte per 256B of memory).
-    cam.lltKind = LltKind::Embedded;
+    cam.llt.kind = LltKind::Embedded;
     const std::uint64_t embedded_visible =
         makeOrganization(OrgKind::Cameo, cam)->visibleBytes();
     EXPECT_LT(embedded_visible, c.stackedBytes + c.offchipBytes);
@@ -163,7 +160,7 @@ TEST(TlmStaticTest, RoutesByDevicePage)
 TEST(TlmDynamicTest, MigratesPageAfterThresholdTouches)
 {
     OrgConfig c = smallConfig();
-    c.tlmMigrateThreshold = 2;
+    c.migrate.migrateThreshold = 2;
     TlmDynamicOrg org(c);
     const PageAddr phys_page = org.stackedPages() + 5; // off-chip
     const LineAddr line = phys_page * kLinesPerPage;
@@ -182,7 +179,7 @@ TEST(TlmDynamicTest, MigratesPageAfterThresholdTouches)
 TEST(TlmDynamicTest, SwapBillsSixteenKilobytes)
 {
     OrgConfig c = smallConfig();
-    c.tlmMigrateThreshold = 1;
+    c.migrate.migrateThreshold = 1;
     TlmDynamicOrg org(c);
     const PageAddr phys_page = org.stackedPages() + 5;
     const LineAddr line = phys_page * kLinesPerPage;
@@ -200,7 +197,7 @@ TEST(TlmDynamicTest, SwapBillsSixteenKilobytes)
 TEST(TlmFreqTest, EpochMovesHotPageIn)
 {
     OrgConfig c = smallConfig();
-    c.freqEpochAccesses = 64;
+    c.freq.epochAccesses = 64;
     TlmFreqOrg org(c);
     const PageAddr hot = org.stackedPages() + 9; // starts off-chip
     for (int i = 0; i < 64; ++i)
@@ -273,10 +270,7 @@ TEST(OrgStressTest, RandomTrafficOnEveryOrg)
     // Functional smoke: every organization survives random traffic and
     // keeps its device addressing in bounds (asserts inside fire on
     // violation).
-    for (OrgKind kind :
-         {OrgKind::Baseline, OrgKind::AlloyCache, OrgKind::TlmStatic,
-          OrgKind::TlmDynamic, OrgKind::TlmFreq, OrgKind::TlmOracle,
-          OrgKind::DoubleUse, OrgKind::Cameo}) {
+    for (OrgKind kind : allOrgKinds()) {
         OrgConfig c = smallConfig();
         const auto org = makeOrganization(kind, c);
         if (kind == OrgKind::TlmOracle)

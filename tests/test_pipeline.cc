@@ -46,6 +46,7 @@ const std::vector<OrgKind> kAllOrgKinds{
     OrgKind::Baseline,   OrgKind::AlloyCache, OrgKind::TlmStatic,
     OrgKind::TlmDynamic, OrgKind::TlmFreq,    OrgKind::TlmOracle,
     OrgKind::DoubleUse,  OrgKind::Cameo,      OrgKind::CameoFreq,
+    OrgKind::Banshee,
 };
 
 /** Small org config (capacity ratio as in the paper, 1:3). */
@@ -57,7 +58,7 @@ smallOrgConfig(TimingMode mode)
     c.offchipBytes = 3 << 20;
     c.numCores = 2;
     c.seed = 42;
-    c.freqEpochAccesses = 512;
+    c.freq.epochAccesses = 512;
     c.timingMode = mode;
     return c;
 }

@@ -133,7 +133,7 @@ TEST(TlmPropertyTest, RemapStaysBijective)
     OrgConfig c;
     c.stackedBytes = 256 << 10;
     c.offchipBytes = 768 << 10;
-    c.tlmMigrateThreshold = 1;
+    c.migrate.migrateThreshold = 1;
     TlmDynamicOrg org(c);
     Rng rng(11);
     const std::uint64_t lines = org.visibleBytes() / kLineBytes;
@@ -204,7 +204,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(OrgKind::Baseline, OrgKind::AlloyCache,
                       OrgKind::TlmStatic, OrgKind::TlmDynamic,
                       OrgKind::TlmFreq, OrgKind::TlmOracle,
-                      OrgKind::DoubleUse, OrgKind::Cameo));
+                      OrgKind::DoubleUse, OrgKind::Cameo,
+                      OrgKind::Banshee));
 
 /** Stats conservation: counters that must add up for every org. */
 class OrgConservationTest : public ::testing::TestWithParam<OrgKind>
@@ -258,7 +259,7 @@ INSTANTIATE_TEST_SUITE_P(
                       OrgKind::TlmStatic, OrgKind::TlmDynamic,
                       OrgKind::TlmFreq, OrgKind::TlmOracle,
                       OrgKind::DoubleUse, OrgKind::Cameo,
-                      OrgKind::CameoFreq));
+                      OrgKind::CameoFreq, OrgKind::Banshee));
 
 /** CAMEO invariants across LLT designs and predictors. */
 class CameoVariantTest

@@ -55,6 +55,7 @@ sweepPoints(const SystemConfig &config)
         DesignPoint{"Cache", OrgKind::AlloyCache, config},
         DesignPoint{"TLM-Static", OrgKind::TlmStatic, config},
         DesignPoint{"CAMEO", OrgKind::Cameo, config},
+        DesignPoint{"Banshee", OrgKind::Banshee, config},
     };
 }
 

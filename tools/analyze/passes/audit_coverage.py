@@ -52,6 +52,15 @@ STRUCTURES = [
         audit=re.compile(r"CAMEO_AUDIT|protoAudit_\s*\."),
     ),
     Structure(
+        name="page remap bijection",
+        files=("src/orgs/policy/page_remap_mapping.cc",),
+        mutation=re.compile(
+            r"(?:physToDev_|devToPhys_)\s*(?:\[[^\]]*\])?\s*=(?!=)"
+            r"|std\s*::\s*swap\s*\(\s*physToDev_"
+        ),
+        audit=re.compile(r"CAMEO_AUDIT"),
+    ),
+    Structure(
         name="kernel clock",
         files=("src/sim/kernel.cc",),
         mutation=re.compile(r"->\s*step\s*\(\s*\)|events_\.runOne\s*\("),

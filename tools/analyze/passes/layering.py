@@ -168,9 +168,14 @@ def provided_names(lexed: Lexed) -> set[str]:
 
 
 def _directory(rel: str) -> str | None:
+    """Band key for a src/ file: its directory path relative to src/.
+
+    Nested directories (src/orgs/policy/...) get their own key so the
+    manifest can band them separately from their parent.
+    """
     parts = rel.split("/")
     if parts[0] == "src" and len(parts) >= 3:
-        return parts[1]
+        return "/".join(parts[1:-1])
     return None
 
 
