@@ -1,0 +1,156 @@
+#include "exp/result_frame.hh"
+
+#include <utility>
+
+#include "snapshot/snapshot.hh"
+
+namespace cameo
+{
+
+namespace
+{
+
+/** Leading section shared by every frame kind. */
+void
+writeHeader(SnapshotWriter &w, ShardFrameKind kind, std::uint32_t shard)
+{
+    w.beginSection("shard");
+    w.u32(kResultFrameVersion);
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u32(shard);
+    w.endSection();
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeShardResult(const ShardResultFrame &frame)
+{
+    SnapshotWriter w;
+    writeHeader(w, ShardFrameKind::Result, frame.shard);
+    w.beginSection("result");
+    w.u64(frame.jobIndex);
+    w.str(frame.label);
+    w.f64(frame.hostSeconds);
+    const RunResult &r = frame.result;
+    w.str(r.orgName);
+    w.str(r.workload);
+    w.u8(static_cast<std::uint8_t>(r.category));
+    w.u64(r.execTime);
+    w.u64(r.kernelSteps);
+    w.b(r.truncated);
+    w.u64(r.instructions);
+    w.u64(r.accesses);
+    w.u64(r.warmupAccesses);
+    w.u64(r.l3Hits);
+    w.u64(r.l3Misses);
+    w.u64(r.stackedBytes);
+    w.u64(r.offchipBytes);
+    w.u64(r.storageBytes);
+    w.u64(r.majorFaults);
+    w.u64(r.minorFaults);
+    w.u64(r.servicedStacked);
+    w.u64(r.servicedOffchip);
+    w.u64(r.swaps);
+    for (const std::uint64_t c : r.llpCases)
+        w.u64(c);
+    w.f64(r.llpAccuracy);
+    w.u64(r.pageMigrations);
+    w.endSection();
+    return w.finish();
+}
+
+std::vector<std::uint8_t>
+encodeShardDone(const ShardDoneFrame &frame)
+{
+    SnapshotWriter w;
+    writeHeader(w, ShardFrameKind::Done, frame.shard);
+    w.beginSection("done");
+    w.u64(frame.jobsRun);
+    w.endSection();
+    return w.finish();
+}
+
+bool
+decodeShardFrame(std::vector<std::uint8_t> bytes, ShardFrameKind *kind,
+                 ShardResultFrame *result, ShardDoneFrame *done,
+                 std::string *error)
+{
+    const auto failWith = [error](const std::string &what) {
+        if (error != nullptr)
+            *error = what;
+        return false;
+    };
+
+    SnapshotReader r;
+    if (!r.open(std::move(bytes)))
+        return failWith(r.error());
+    if (!r.enterSection("shard"))
+        return failWith(r.error());
+    const std::uint32_t version = r.u32();
+    if (version != kResultFrameVersion) {
+        return failWith("result frame version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kResultFrameVersion) + ")");
+    }
+    const std::uint8_t raw_kind = r.u8();
+    const std::uint32_t shard = r.u32();
+    r.leaveSection();
+    if (!r.ok())
+        return failWith(r.error());
+
+    if (raw_kind == static_cast<std::uint8_t>(ShardFrameKind::Result)) {
+        *kind = ShardFrameKind::Result;
+        ShardResultFrame f;
+        f.shard = shard;
+        r.enterSection("result");
+        f.jobIndex = r.u64();
+        f.label = r.str();
+        f.hostSeconds = r.f64();
+        RunResult &res = f.result;
+        res.orgName = r.str();
+        res.workload = r.str();
+        res.category = static_cast<WorkloadCategory>(r.u8());
+        res.execTime = r.u64();
+        res.kernelSteps = r.u64();
+        res.truncated = r.b();
+        res.instructions = r.u64();
+        res.accesses = r.u64();
+        res.warmupAccesses = r.u64();
+        res.l3Hits = r.u64();
+        res.l3Misses = r.u64();
+        res.stackedBytes = r.u64();
+        res.offchipBytes = r.u64();
+        res.storageBytes = r.u64();
+        res.majorFaults = r.u64();
+        res.minorFaults = r.u64();
+        res.servicedStacked = r.u64();
+        res.servicedOffchip = r.u64();
+        res.swaps = r.u64();
+        for (std::uint64_t &c : res.llpCases)
+            c = r.u64();
+        res.llpAccuracy = r.f64();
+        res.pageMigrations = r.u64();
+        r.leaveSection();
+        if (!r.ok())
+            return failWith(r.error());
+        *result = std::move(f);
+        return true;
+    }
+    if (raw_kind == static_cast<std::uint8_t>(ShardFrameKind::Done)) {
+        *kind = ShardFrameKind::Done;
+        ShardDoneFrame f;
+        f.shard = shard;
+        r.enterSection("done");
+        f.jobsRun = r.u64();
+        r.leaveSection();
+        if (!r.ok())
+            return failWith(r.error());
+        *done = f;
+        return true;
+    }
+    return failWith("unknown shard frame kind " +
+                    std::to_string(raw_kind));
+}
+
+} // namespace cameo

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Versioned binary result frames for cross-process sweeps.
+ *
+ * A shard worker ships every finished RunResult back to the
+ * orchestrator as one self-contained snapshot buffer (SnapshotWriter's
+ * magic + container version + per-section CRC-32 apply, so a torn or
+ * corrupted pipe read is detected, never silently merged), wrapped for
+ * the stream by snapshot/frame.hh. Inside the container, the "shard"
+ * section leads with kResultFrameVersion — bump it on ANY field
+ * change, exactly like kSnapshotVersion; readers reject other
+ * versions outright.
+ *
+ * Two frame kinds exist: Result (one job's RunResult, tagged with its
+ * global submission index so the orchestrator merges in submission
+ * order regardless of arrival order) and Done (a shard's end-of-stream
+ * marker carrying its job count, which distinguishes a clean exit from
+ * a death mid-stream). The per-job host wall time travels in the
+ * Result frame for progress display only — it never enters merged
+ * deterministic output.
+ */
+
+#ifndef CAMEO_EXP_RESULT_FRAME_HH
+#define CAMEO_EXP_RESULT_FRAME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "system/system.hh"
+
+namespace cameo
+{
+
+/** Frame layout version; bump on any field change. */
+inline constexpr std::uint32_t kResultFrameVersion = 1;
+
+/** Discriminator carried in every frame's "shard" section. */
+enum class ShardFrameKind : std::uint8_t
+{
+    Result = 1, ///< One finished job.
+    Done = 2,   ///< Shard end-of-stream marker.
+};
+
+/** One finished job, tagged for submission-order merge. */
+struct ShardResultFrame
+{
+    std::uint32_t shard = 0;
+
+    /** Global submission index in the full (unsharded) job list. */
+    std::uint64_t jobIndex = 0;
+
+    std::string label;
+
+    /** Host wall time of this job (progress display only). */
+    double hostSeconds = 0.0;
+
+    RunResult result;
+};
+
+/** End-of-stream marker: the shard ran @p jobsRun jobs and exited. */
+struct ShardDoneFrame
+{
+    std::uint32_t shard = 0;
+    std::uint64_t jobsRun = 0;
+};
+
+/** Serialize one Result frame (snapshot container included). */
+std::vector<std::uint8_t> encodeShardResult(const ShardResultFrame &frame);
+
+/** Serialize one Done frame (snapshot container included). */
+std::vector<std::uint8_t> encodeShardDone(const ShardDoneFrame &frame);
+
+/**
+ * Parse one frame buffer. Validates the snapshot container (magic,
+ * version, CRCs) and kResultFrameVersion, then fills @p result or
+ * @p done according to @p kind. False + @p error on any defect.
+ */
+bool decodeShardFrame(std::vector<std::uint8_t> bytes,
+                      ShardFrameKind *kind, ShardResultFrame *result,
+                      ShardDoneFrame *done, std::string *error);
+
+} // namespace cameo
+
+#endif // CAMEO_EXP_RESULT_FRAME_HH

@@ -1,0 +1,48 @@
+#include "exp/shard_plan.hh"
+
+#include <map>
+
+#include "util/bitops.hh"
+
+namespace cameo
+{
+
+std::uint64_t
+shardJobKey(std::string_view label, std::uint64_t occurrence)
+{
+    // Hash the label, then continue the same FNV stream over the
+    // occurrence suffix — equivalent to fnv1a64(label + "#" + n) but
+    // allocation-free.
+    std::uint64_t hash = fnv1a64(label);
+    hash = fnv1a64("#", hash);
+    return fnv1a64(std::to_string(occurrence), hash);
+}
+
+unsigned
+shardOfKey(std::uint64_t key, unsigned shards)
+{
+    if (shards <= 1)
+        return 0;
+    return static_cast<unsigned>(key % shards);
+}
+
+ShardPlan
+planShards(const std::vector<std::string> &labels, unsigned shards)
+{
+    ShardPlan plan;
+    plan.shards = shards == 0 ? 1 : shards;
+    plan.shardOf.reserve(labels.size());
+    plan.jobsOf.assign(plan.shards, {});
+
+    std::map<std::string, std::uint64_t> occurrences;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const std::uint64_t occurrence = occurrences[labels[i]]++;
+        const unsigned shard =
+            shardOfKey(shardJobKey(labels[i], occurrence), plan.shards);
+        plan.shardOf.push_back(shard);
+        plan.jobsOf[shard].push_back(i);
+    }
+    return plan;
+}
+
+} // namespace cameo

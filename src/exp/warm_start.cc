@@ -2,8 +2,16 @@
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 #include <type_traits>
+#include <utility>
+
+#include <unistd.h>
+
+#include "util/bitops.hh"
+#include "util/fs_lock.hh"
 
 namespace cameo
 {
@@ -119,13 +127,115 @@ computePrefix(const SystemConfig &config, OrgKind kind,
     return std::make_shared<const std::vector<std::uint8_t>>(w.finish());
 }
 
+/** Stable file name for a prefix key under the cache directory. */
+std::string
+diskPathFor(const std::string &dir, const std::string &key)
+{
+    char name[40];
+    std::snprintf(name, sizeof(name), "warm-%016llx.snap",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return dir + "/" + name;
+}
+
+/**
+ * Load a persisted prefix. The file is a two-section snapshot —
+ * "warmkey" (the full structural key, compared against @p key) and
+ * "warmblob" (the System snapshot bytes) — so CRC damage, truncation,
+ * and filename-hash collisions all read as a miss.
+ */
+WarmStartCache::Blob
+loadPrefixFile(const std::string &path, const std::string &key)
+{
+    SnapshotReader r;
+    if (!r.openFile(path))
+        return nullptr;
+    if (!r.enterSection("warmkey"))
+        return nullptr;
+    const std::string stored_key = r.str();
+    r.leaveSection();
+    if (!r.ok() || stored_key != key)
+        return nullptr;
+    std::vector<std::uint8_t> bytes;
+    if (!r.enterSection("warmblob"))
+        return nullptr;
+    r.vecU8(bytes);
+    r.leaveSection();
+    if (!r.ok())
+        return nullptr;
+    return std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(bytes));
+}
+
+/** Persist @p blob atomically (PID-unique temp + rename). */
+void
+storePrefixFile(const std::string &path, const std::string &key,
+                const std::vector<std::uint8_t> &blob)
+{
+    SnapshotWriter w;
+    w.beginSection("warmkey");
+    w.str(key);
+    w.endSection();
+    w.beginSection("warmblob");
+    w.vecU8(blob);
+    w.endSection();
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::string error;
+    if (!w.writeFile(tmp, &error)) {
+        std::fprintf(stderr, "warning: warm-start cache: %s\n",
+                     error.c_str());
+        return;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
+}
+
 } // namespace
 
 WarmStartCache &
 WarmStartCache::instance()
 {
     static WarmStartCache cache;
+    static const bool dir_init = [] {
+        if (const char *dir = std::getenv("CAMEO_WARM_CACHE_DIR");
+            dir != nullptr && dir[0] != '\0') {
+            cache.setCacheDir(dir);
+        }
+        return true;
+    }();
+    (void)dir_init;
     return cache;
+}
+
+void
+WarmStartCache::setCacheDir(std::string dir)
+{
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "warning: cannot create warm-start cache "
+                         "directory %s: %s\n",
+                         dir.c_str(), ec.message().c_str());
+        }
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cacheDir_ = std::move(dir);
+}
+
+std::string
+WarmStartCache::cacheDir() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return cacheDir_;
+}
+
+std::size_t
+WarmStartCache::diskLoads() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return diskLoads_;
 }
 
 WarmStartCache::Blob
@@ -158,8 +268,32 @@ WarmStartCache::snapshot(const SystemConfig &config, OrgKind kind,
     }
     if (creator) {
         try {
-            mine.set_value(computePrefix(config, kind, profile,
-                                         prefix_accesses_per_core));
+            Blob blob;
+            const std::string dir = cacheDir();
+            if (!dir.empty()) {
+                // Lock -> re-check -> compute or load, like the trace
+                // arena's recorder guard: one fleet member simulates
+                // the prefix, the rest restore its file.
+                const std::string path = diskPathFor(dir, key);
+                blob = loadPrefixFile(path, key);
+                FileLock disk_lock;
+                if (blob == nullptr) {
+                    disk_lock = FileLock::acquire(path + ".lock");
+                    blob = loadPrefixFile(path, key);
+                }
+                if (blob == nullptr) {
+                    blob = computePrefix(config, kind, profile,
+                                         prefix_accesses_per_core);
+                    storePrefixFile(path, key, *blob);
+                } else {
+                    const std::lock_guard<std::mutex> lock(mutex_);
+                    ++diskLoads_;
+                }
+            } else {
+                blob = computePrefix(config, kind, profile,
+                                     prefix_accesses_per_core);
+            }
+            mine.set_value(std::move(blob));
         } catch (...) {
             mine.set_exception(std::current_exception());
         }

@@ -65,17 +65,38 @@ class WarmStartCache
                   const WorkloadProfile &profile,
                   std::uint64_t prefix_accesses_per_core);
 
-    /** Drop every cached snapshot (tests). */
+    /**
+     * Persist computed prefixes as snapshot files under @p dir and
+     * load them back on later misses, so cooperating processes — a
+     * shard fleet sharing one warm-start checkpoint directory — pay
+     * each warmup once per fleet instead of once per process. Files
+     * are written atomically (PID-unique temp + rename) under an
+     * advisory per-file lock (util/fs_lock.hh) and embed the full
+     * structural key, so a filename-hash collision or stale file is
+     * recomputed, never silently restored. An empty @p dir disables
+     * persistence. Also configured by CAMEO_WARM_CACHE_DIR.
+     */
+    void setCacheDir(std::string dir);
+
+    /** The configured persistence directory ("" when disabled). */
+    std::string cacheDir() const;
+
+    /** Drop every cached snapshot (tests). Keeps the cache dir. */
     void clear();
 
     /** Number of distinct prefixes computed so far (telemetry). */
     std::size_t entries() const;
+
+    /** Prefixes served from a cache file instead of simulation. */
+    std::size_t diskLoads() const;
 
   private:
     WarmStartCache() = default;
 
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_future<Blob>> cache_;
+    std::string cacheDir_;
+    std::size_t diskLoads_ = 0;
 };
 
 /**

@@ -1,0 +1,483 @@
+#include "shard/fleet.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <sys/select.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "exp/result_frame.hh"
+#include "exp/shard_plan.hh"
+#include "exp/stopwatch.hh"
+#include "snapshot/frame.hh"
+#include "util/env.hh"
+
+extern "C" char **environ;
+
+namespace cameo
+{
+
+namespace
+{
+
+/** write() the whole buffer, retrying short writes and EINTR. */
+bool
+writeAll(int fd, const std::uint8_t *data, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t written = ::write(fd, data, n);
+        if (written < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += written;
+        n -= static_cast<std::size_t>(written);
+    }
+    return true;
+}
+
+/**
+ * Strictly-parsed env knob with a default; malformed values warn on
+ * stderr (bench_common idiom) and fall back.
+ */
+std::uint64_t
+envUintOr(const char *name, std::uint64_t fallback)
+{
+    std::string error;
+    const std::optional<std::uint64_t> value = envUint(name, &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "warning: %s (using default %llu)\n",
+                     error.c_str(),
+                     static_cast<unsigned long long>(fallback));
+    }
+    return value.value_or(fallback);
+}
+
+/** One spawned worker, as the orchestrator tracks it. */
+struct ChildProc
+{
+    pid_t pid = -1;
+
+    /** Read end of the worker's result pipe; -1 once closed. */
+    int fd = -1;
+
+    FrameSplitter splitter;
+    Stopwatch watch;
+
+    /** First stream-level defect seen on this worker ("" = none). */
+    std::string error;
+};
+
+/** Record a stream defect, keeping only the first one per worker. */
+void
+noteStreamError(ChildProc &child, std::string detail)
+{
+    if (child.error.empty())
+        child.error = std::move(detail);
+}
+
+} // namespace
+
+int
+resolveShardResultFd()
+{
+    std::string error;
+    const std::optional<std::uint64_t> value =
+        envUint(kShardResultFdEnv, &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "warning: %s (streaming to stdout)\n",
+                     error.c_str());
+        return STDOUT_FILENO;
+    }
+    if (!value.has_value())
+        return STDOUT_FILENO;
+    if (*value >
+        static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+        std::fprintf(stderr,
+                     "warning: %s: fd %llu out of range (streaming to "
+                     "stdout)\n",
+                     kShardResultFdEnv,
+                     static_cast<unsigned long long>(*value));
+        return STDOUT_FILENO;
+    }
+    return static_cast<int>(*value);
+}
+
+int
+runShardWorker(const std::vector<SweepJob> &jobs, unsigned shard_index,
+               unsigned shards)
+{
+    if (shards == 0)
+        shards = 1;
+    if (shard_index >= shards) {
+        std::fprintf(stderr,
+                     "shard worker: index %u out of range for %u "
+                     "shards\n",
+                     shard_index, shards);
+        return 2;
+    }
+    const int fd = resolveShardResultFd();
+
+    std::vector<std::string> labels;
+    labels.reserve(jobs.size());
+    for (const SweepJob &job : jobs)
+        labels.push_back(job.label);
+    const ShardPlan plan = planShards(labels, shards);
+    const std::vector<std::size_t> &mine = plan.jobsOf[shard_index];
+
+    // Test hooks (strictly parsed): stagger delays each worker's start
+    // so completion order inverts shard order, and the exit hook makes
+    // one worker die mid-stream; the identity and failure tests use
+    // them to pin order-independence and failure propagation.
+    const std::uint64_t stagger_ms =
+        envUintOr("CAMEO_SHARD_STAGGER_MS", 0);
+    if (stagger_ms > 0) {
+        const std::uint64_t slots = shards - 1u - shard_index;
+        for (std::uint64_t i = 0; i < slots * stagger_ms; ++i)
+            ::usleep(1000);
+    }
+    const bool test_exit =
+        envUintOr("CAMEO_SHARD_TEST_EXIT_SHARD",
+                  std::numeric_limits<std::uint64_t>::max()) ==
+        shard_index;
+    const std::uint64_t exit_after =
+        test_exit ? envUintOr("CAMEO_SHARD_TEST_EXIT_AFTER", 0) : 0;
+    if (test_exit && exit_after == 0)
+        ::_exit(3);
+
+    std::uint64_t streamed = 0;
+    for (const std::size_t index : mine) {
+        ShardResultFrame frame;
+        frame.shard = shard_index;
+        frame.jobIndex = index;
+        frame.label = jobs[index].label;
+        Stopwatch watch;
+        try {
+            frame.result = jobs[index].run();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "shard %u: job %s failed: %s\n",
+                         shard_index, frame.label.c_str(), e.what());
+            return 1;
+        }
+        frame.hostSeconds = watch.seconds();
+        std::vector<std::uint8_t> stream;
+        appendFrame(stream, encodeShardResult(frame));
+        if (!writeAll(fd, stream.data(), stream.size())) {
+            std::fprintf(stderr,
+                         "shard %u: result stream write failed: %s\n",
+                         shard_index, std::strerror(errno));
+            return 1;
+        }
+        ++streamed;
+        if (test_exit && streamed >= exit_after)
+            ::_exit(3);
+    }
+
+    ShardDoneFrame done;
+    done.shard = shard_index;
+    done.jobsRun = streamed;
+    std::vector<std::uint8_t> stream;
+    appendFrame(stream, encodeShardDone(done));
+    if (!writeAll(fd, stream.data(), stream.size())) {
+        std::fprintf(stderr,
+                     "shard %u: result stream write failed: %s\n",
+                     shard_index, std::strerror(errno));
+        return 1;
+    }
+    return 0;
+}
+
+FleetOutcome
+runShardFleet(std::size_t num_jobs, const FleetOptions &options)
+{
+    FleetOutcome outcome;
+    const unsigned shards = options.shards == 0 ? 1 : options.shards;
+    outcome.results.resize(num_jobs);
+    outcome.present.assign(num_jobs, false);
+    outcome.shards.resize(shards);
+    for (unsigned i = 0; i < shards; ++i)
+        outcome.shards[i].shard = i;
+
+    const Stopwatch fleet_watch;
+    if (options.progress != nullptr)
+        options.progress->setTotal(num_jobs);
+
+    std::vector<ChildProc> children(shards);
+    const std::size_t env_len = std::strlen(kShardResultFdEnv);
+    for (unsigned i = 0; i < shards; ++i) {
+        int fds[2];
+        if (::pipe(fds) != 0) {
+            ShardFailure failure;
+            failure.shard = i;
+            failure.detail =
+                std::string("pipe: ") + std::strerror(errno);
+            outcome.failures.push_back(std::move(failure));
+            break;
+        }
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(fds[0]);
+            ::close(fds[1]);
+            ShardFailure failure;
+            failure.shard = i;
+            failure.detail =
+                std::string("fork: ") + std::strerror(errno);
+            outcome.failures.push_back(std::move(failure));
+            break;
+        }
+        if (pid == 0) {
+            // Worker side: keep only this pipe's write end, tell the
+            // worker its number, and become the worker command.
+            ::close(fds[0]);
+            for (unsigned j = 0; j < i; ++j) {
+                if (children[j].fd >= 0)
+                    ::close(children[j].fd);
+            }
+            std::vector<std::string> arg_strings =
+                options.workerCommand;
+            arg_strings.push_back("--shard-index=" +
+                                  std::to_string(i));
+            std::vector<char *> argv;
+            argv.reserve(arg_strings.size() + 1);
+            for (std::string &arg : arg_strings)
+                argv.push_back(arg.data());
+            argv.push_back(nullptr);
+            std::string fd_var = std::string(kShardResultFdEnv) + "=" +
+                                 std::to_string(fds[1]);
+            std::vector<char *> envp;
+            for (char **e = environ; *e != nullptr; ++e) {
+                if (std::strncmp(*e, kShardResultFdEnv, env_len) == 0 &&
+                    (*e)[env_len] == '=')
+                    continue;
+                envp.push_back(*e);
+            }
+            envp.push_back(fd_var.data());
+            envp.push_back(nullptr);
+            ::execve(argv[0], argv.data(), envp.data());
+            std::fprintf(stderr, "shard fleet: exec %s: %s\n", argv[0],
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+        ::close(fds[1]);
+        children[i].pid = pid;
+        children[i].fd = fds[0];
+        children[i].watch.restart();
+    }
+
+    // Single-threaded merge loop: drain whichever pipes have bytes,
+    // reassemble frames, and store each result by its global
+    // submission index — identical merged output for any completion
+    // interleaving.
+    while (true) {
+        fd_set read_set;
+        FD_ZERO(&read_set);
+        int max_fd = -1;
+        for (const ChildProc &child : children) {
+            if (child.fd >= 0) {
+                FD_SET(child.fd, &read_set);
+                max_fd = std::max(max_fd, child.fd);
+            }
+        }
+        if (max_fd < 0)
+            break;
+        const int ready =
+            ::select(max_fd + 1, &read_set, nullptr, nullptr, nullptr);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            for (ChildProc &child : children) {
+                if (child.fd >= 0) {
+                    noteStreamError(child,
+                                    std::string("select: ") +
+                                        std::strerror(errno));
+                    ::close(child.fd);
+                    child.fd = -1;
+                }
+            }
+            break;
+        }
+        for (unsigned i = 0; i < shards; ++i) {
+            ChildProc &child = children[i];
+            if (child.fd < 0 || !FD_ISSET(child.fd, &read_set))
+                continue;
+            std::uint8_t buffer[65536];
+            const ssize_t n = ::read(child.fd, buffer, sizeof(buffer));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                noteStreamError(child, std::string("read: ") +
+                                           std::strerror(errno));
+                ::close(child.fd);
+                child.fd = -1;
+                continue;
+            }
+            if (n == 0) {
+                outcome.shards[i].wallSeconds = child.watch.seconds();
+                if (child.splitter.pendingBytes() != 0) {
+                    noteStreamError(
+                        child,
+                        "stream ended mid-frame (" +
+                            std::to_string(
+                                child.splitter.pendingBytes()) +
+                            " leftover bytes)");
+                }
+                ::close(child.fd);
+                child.fd = -1;
+                continue;
+            }
+            child.splitter.feed(buffer, static_cast<std::size_t>(n));
+            std::vector<std::uint8_t> payload;
+            while (child.splitter.next(&payload)) {
+                ShardFrameKind kind = ShardFrameKind::Done;
+                ShardResultFrame result_frame;
+                ShardDoneFrame done_frame;
+                std::string error;
+                if (!decodeShardFrame(std::move(payload), &kind,
+                                      &result_frame, &done_frame,
+                                      &error)) {
+                    noteStreamError(child,
+                                    "undecodable frame: " + error);
+                    continue;
+                }
+                if (kind == ShardFrameKind::Result) {
+                    const std::uint64_t index = result_frame.jobIndex;
+                    if (index >= num_jobs) {
+                        noteStreamError(
+                            child, "job index " +
+                                       std::to_string(index) +
+                                       " out of range");
+                    } else if (outcome.present[index]) {
+                        noteStreamError(
+                            child, "duplicate result for job " +
+                                       std::to_string(index));
+                    } else {
+                        outcome.results[index] =
+                            std::move(result_frame.result);
+                        outcome.present[index] = true;
+                        ++outcome.shards[i].jobsStreamed;
+                        if (options.progress != nullptr) {
+                            options.progress->jobFinished(
+                                result_frame.label,
+                                result_frame.hostSeconds);
+                        }
+                    }
+                } else {
+                    outcome.shards[i].doneSeen = true;
+                    if (done_frame.jobsRun !=
+                        outcome.shards[i].jobsStreamed) {
+                        noteStreamError(
+                            child,
+                            "done marker claims " +
+                                std::to_string(done_frame.jobsRun) +
+                                " jobs, saw " +
+                                std::to_string(
+                                    outcome.shards[i].jobsStreamed));
+                    }
+                }
+            }
+            if (child.splitter.bad()) {
+                noteStreamError(child,
+                                "corrupt frame stream (impossible "
+                                "frame length)");
+                ::close(child.fd);
+                child.fd = -1;
+            }
+        }
+    }
+
+    // Reap every worker and build the failure roster: nonzero exit,
+    // death by signal, a defective stream, or a missing Done marker
+    // each condemn the shard.
+    for (unsigned i = 0; i < shards; ++i) {
+        ChildProc &child = children[i];
+        if (child.pid < 0)
+            continue;
+        int status = 0;
+        pid_t reaped;
+        do {
+            reaped = ::waitpid(child.pid, &status, 0);
+        } while (reaped < 0 && errno == EINTR);
+
+        ShardFailure failure;
+        failure.shard = i;
+        bool failed = false;
+        if (reaped < 0) {
+            failed = true;
+            failure.detail =
+                std::string("waitpid: ") + std::strerror(errno);
+        } else if (WIFSIGNALED(status)) {
+            failed = true;
+            failure.termSignal = WTERMSIG(status);
+            failure.detail = "killed by signal " +
+                             std::to_string(failure.termSignal);
+        } else if (WIFEXITED(status)) {
+            failure.exitCode = WEXITSTATUS(status);
+            if (failure.exitCode != 0) {
+                failed = true;
+                failure.detail = "exited with code " +
+                                 std::to_string(failure.exitCode);
+            }
+        }
+        if (!failed && !outcome.shards[i].doneSeen) {
+            failed = true;
+            failure.detail = "stream ended without Done marker";
+        }
+        if (!child.error.empty()) {
+            if (failed)
+                failure.detail += "; " + child.error;
+            else
+                failure.detail = child.error;
+            failed = true;
+        }
+        if (failed)
+            outcome.failures.push_back(std::move(failure));
+    }
+
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+        if (!outcome.present[j])
+            outcome.missing.push_back(j);
+    }
+    outcome.wallSeconds = fleet_watch.seconds();
+    return outcome;
+}
+
+void
+writeShardResultsCsv(std::ostream &os,
+                     const std::vector<RunResult> &results)
+{
+    os << "org,workload,category,exec_time,kernel_steps,truncated,"
+          "instructions,accesses,warmup_accesses,l3_hits,l3_misses,"
+          "stacked_bytes,offchip_bytes,storage_bytes,major_faults,"
+          "minor_faults,serviced_stacked,serviced_offchip,swaps,"
+          "llp_case0,llp_case1,llp_case2,llp_case3,llp_case4,"
+          "llp_accuracy,page_migrations\n";
+    for (const RunResult &r : results) {
+        char accuracy[40];
+        std::snprintf(accuracy, sizeof(accuracy), "%.17g",
+                      r.llpAccuracy);
+        os << r.orgName << ',' << r.workload << ','
+           << static_cast<unsigned>(r.category) << ',' << r.execTime
+           << ',' << r.kernelSteps << ','
+           << static_cast<unsigned>(r.truncated) << ','
+           << r.instructions << ',' << r.accesses << ','
+           << r.warmupAccesses << ',' << r.l3Hits << ',' << r.l3Misses
+           << ',' << r.stackedBytes << ',' << r.offchipBytes << ','
+           << r.storageBytes << ',' << r.majorFaults << ','
+           << r.minorFaults << ',' << r.servicedStacked << ','
+           << r.servicedOffchip << ',' << r.swaps;
+        for (const std::uint64_t c : r.llpCases)
+            os << ',' << c;
+        os << ',' << accuracy << ',' << r.pageMigrations << '\n';
+    }
+}
+
+} // namespace cameo

@@ -1,0 +1,61 @@
+#include "snapshot/frame.hh"
+
+namespace cameo
+{
+
+void
+appendFrame(std::vector<std::uint8_t> &stream,
+            const std::vector<std::uint8_t> &payload)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    stream.reserve(stream.size() + 4 + payload.size());
+    stream.push_back(static_cast<std::uint8_t>(n));
+    stream.push_back(static_cast<std::uint8_t>(n >> 8));
+    stream.push_back(static_cast<std::uint8_t>(n >> 16));
+    stream.push_back(static_cast<std::uint8_t>(n >> 24));
+    stream.insert(stream.end(), payload.begin(), payload.end());
+}
+
+void
+FrameSplitter::feed(const std::uint8_t *data, std::size_t n)
+{
+    if (bad_ || n == 0)
+        return;
+    // Compact lazily: only when the consumed prefix dominates the
+    // buffer, so feeding is amortized O(n).
+    if (cursor_ > 0 && cursor_ >= buffer_.size() / 2) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(cursor_));
+        cursor_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + n);
+}
+
+bool
+FrameSplitter::next(std::vector<std::uint8_t> *payload)
+{
+    if (bad_ || buffer_.size() - cursor_ < 4)
+        return false;
+    // The length travels little-endian; reassemble portably.
+    const std::uint8_t *p = buffer_.data() + cursor_;
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    if (n > kMaxFrameBytes) {
+        bad_ = true;
+        return false;
+    }
+    if (buffer_.size() - cursor_ - 4 < n)
+        return false;
+    payload->assign(buffer_.begin() +
+                        static_cast<std::ptrdiff_t>(cursor_ + 4),
+                    buffer_.begin() +
+                        static_cast<std::ptrdiff_t>(cursor_ + 4 + n));
+    cursor_ += 4 + n;
+    return true;
+}
+
+} // namespace cameo

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Length-prefixed framing of snapshot buffers over byte streams.
+ *
+ * The shard fleet (src/shard) ships whole snapshot buffers — each one
+ * internally versioned and CRC-guarded by SnapshotWriter — across
+ * process boundaries on pipes. A pipe is just a byte stream, so the
+ * sender prefixes every buffer with its little-endian u32 length
+ * (appendFrame) and the receiver reassembles buffers from arbitrarily
+ * chunked reads (FrameSplitter). Corruption inside a frame is caught
+ * by SnapshotReader's CRC validation; corruption of the framing itself
+ * surfaces as an oversized length, which latches FrameSplitter::bad().
+ */
+
+#ifndef CAMEO_SNAPSHOT_FRAME_HH
+#define CAMEO_SNAPSHOT_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cameo
+{
+
+/**
+ * Upper bound on one frame's payload. Far above any real result frame
+ * (a few hundred bytes); a length beyond it means the stream is not
+ * frame-aligned (a crashed writer, or garbage on the pipe).
+ */
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Append [u32 LE length][payload bytes] to @p stream. */
+void appendFrame(std::vector<std::uint8_t> &stream,
+                 const std::vector<std::uint8_t> &payload);
+
+/**
+ * Incremental reassembly of frames from a chunked byte stream.
+ *
+ * feed() arbitrary read chunks, then drain complete frames with
+ * next(). Partial frames stay buffered across feeds. A frame length
+ * exceeding kMaxFrameBytes latches bad(): the splitter stops producing
+ * frames and the caller should treat the stream as corrupt.
+ */
+class FrameSplitter
+{
+  public:
+    /** Buffer @p n more stream bytes. */
+    void feed(const std::uint8_t *data, std::size_t n);
+
+    /**
+     * Pop the next complete frame's payload into @p payload. Returns
+     * false when no complete frame is buffered (or the stream went
+     * bad).
+     */
+    bool next(std::vector<std::uint8_t> *payload);
+
+    /** True once an impossible frame length was seen. */
+    bool bad() const { return bad_; }
+
+    /** Bytes buffered but not yet returned (partial trailing frame). */
+    std::size_t pendingBytes() const { return buffer_.size() - cursor_; }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+    std::size_t cursor_ = 0;
+    bool bad_ = false;
+};
+
+} // namespace cameo
+
+#endif // CAMEO_SNAPSHOT_FRAME_HH

@@ -38,6 +38,14 @@ class Counter
     /** Overwrite the value from a snapshot (checkpoint restore only). */
     void restoreValue(std::uint64_t v) { value_ = v; }
 
+    /**
+     * Fold another counter's tally into this one (sharded-sweep stat
+     * merge): values add, name and description stay ours. Merging the
+     * per-shard tallies of a partitioned run reproduces the unsplit
+     * counter exactly.
+     */
+    void merge(const Counter &other) { value_ += other.value_; }
+
     std::uint64_t value() const { return value_; }
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }

@@ -44,6 +44,25 @@ Distribution::reset()
 }
 
 bool
+Distribution::merge(const Distribution &other)
+{
+    if (bucketWidth_ != other.bucketWidth_ ||
+        buckets_.size() != other.buckets_.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    // An empty operand carries the identity extremes (~0, 0), so the
+    // min/max folds below are no-ops for it on either side.
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    return true;
+}
+
+bool
 Distribution::restoreState(const std::vector<std::uint64_t> &buckets,
                            std::uint64_t overflow, std::uint64_t count,
                            std::uint64_t sum, std::uint64_t min,

@@ -64,6 +64,20 @@ class Distribution
     const std::string &desc() const { return desc_; }
 
     /**
+     * Fold another distribution's samples into this one (sharded-sweep
+     * stat merge). Requires an identical histogram shape (bucket width
+     * and bucket count); returns false and leaves this distribution
+     * untouched on a mismatch. Counts, sums, per-bucket tallies and the
+     * overflow bucket add; min/max take the extremes. Because
+     * percentile() is a pure function of exactly that state, any
+     * percentile of the merged distribution equals the percentile of
+     * the unsplit sample stream — merge-then-query and
+     * query-after-sampling-everything are the same computation
+     * (tests/test_shard.cc pins this across random partitions).
+     */
+    bool merge(const Distribution &other);
+
+    /**
      * Overwrite sample state from a snapshot (checkpoint restore only).
      * @p buckets must match the configured bucket count — the histogram
      * shape is structural (it comes from the constructor), only the

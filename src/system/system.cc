@@ -615,6 +615,48 @@ System::restoreSnapshot(const std::string &path, std::string *error)
     return true;
 }
 
+void
+RunResult::merge(const RunResult &other)
+{
+    const auto join = [](std::string &mine, const std::string &theirs) {
+        if (mine != theirs && !theirs.empty())
+            mine = mine.empty() ? theirs : mine + '+' + theirs;
+    };
+    join(orgName, other.orgName);
+    join(workload, other.workload);
+
+    execTime = std::max(execTime, other.execTime);
+    kernelSteps += other.kernelSteps;
+    truncated = truncated || other.truncated;
+    instructions += other.instructions;
+    accesses += other.accesses;
+    warmupAccesses += other.warmupAccesses;
+    l3Hits += other.l3Hits;
+    l3Misses += other.l3Misses;
+    stackedBytes += other.stackedBytes;
+    offchipBytes += other.offchipBytes;
+    storageBytes += other.storageBytes;
+    majorFaults += other.majorFaults;
+    minorFaults += other.minorFaults;
+    servicedStacked += other.servicedStacked;
+    servicedOffchip += other.servicedOffchip;
+    swaps += other.swaps;
+    for (std::size_t c = 0; c < llpCases.size(); ++c)
+        llpCases[c] += other.llpCases[c];
+    pageMigrations += other.pageMigrations;
+
+    // Re-derive accuracy from the merged tallies: cases 1 and 4 are
+    // the correct predictions (LineLocationPredictor::accuracy()).
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : llpCases)
+        total += c;
+    llpAccuracy =
+        total == 0
+            ? 0.0
+            : static_cast<double>(llpCases[0] + llpCases[3]) /
+                  static_cast<double>(total);
+}
+
 RunResult
 runWorkload(const SystemConfig &config, OrgKind kind,
             const WorkloadProfile &profile)

@@ -77,6 +77,18 @@ struct RunResult
     /** TLM-specific. */
     std::uint64_t pageMigrations = 0;
 
+    /**
+     * Fold another run's result into this one (sharded-sweep / fleet
+     * aggregation). Count and byte fields add; execTime takes the
+     * slower of the two (rate-mode semantics: the fleet finishes when
+     * its slowest member does); truncated ORs; llpAccuracy is
+     * re-derived from the merged llpCases tallies, exactly as
+     * LineLocationPredictor::accuracy() defines it. orgName/workload
+     * are kept when equal and join with '+' when they differ; category
+     * keeps this result's value.
+     */
+    void merge(const RunResult &other);
+
     /** Measured L3 misses per thousand instructions. */
     double mpki() const
     {

@@ -8,8 +8,12 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "trace/trace_file.hh"
+#include "util/bitops.hh"
 #include "util/env.hh"
+#include "util/fs_lock.hh"
 #include "util/mmap_file.hh"
 
 namespace cameo
@@ -27,18 +31,6 @@ formatDouble(double v)
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
-}
-
-/** FNV-1a, used only to derive stable file names from cache keys. */
-std::uint64_t
-fnv1a(const std::string &text)
-{
-    std::uint64_t hash = 1469598103934665603ULL;
-    for (const char c : text) {
-        hash ^= static_cast<std::uint8_t>(c);
-        hash *= 1099511628211ULL;
-    }
-    return hash;
 }
 
 } // namespace
@@ -183,7 +175,7 @@ TraceArenaCache::diskPathFor(const std::string &key) const
 {
     char name[40];
     std::snprintf(name, sizeof(name), "arena-%016llx.ctp",
-                  static_cast<unsigned long long>(fnv1a(key)));
+                  static_cast<unsigned long long>(fnv1a64(key)));
     return cacheDir_ + "/" + name;
 }
 
@@ -225,20 +217,36 @@ TraceArenaCache::acquire(const WorkloadProfile &profile,
     // record in parallel; acquirers of this key block on the future.
     std::shared_ptr<const TraceArena> arena;
     bool from_disk = false;
+    // Held (when recording to disk) from the re-check until after the
+    // final rename; released by the destructor on every exit path.
+    FileLock disk_lock;
     try {
         if (!disk_path.empty()) {
             std::string error;
             arena = TraceArena::fromFile(disk_path, key, &error);
+            if (arena == nullptr) {
+                // Concurrent-recorder guard: without the lock, N
+                // processes missing this key each record the full
+                // arena before the atomic rename — correct but N
+                // times the work. Lock, then re-check: the previous
+                // holder usually recorded the file while we waited. A
+                // crashed holder's lock is broken by PID liveness or
+                // the stale timeout (util/fs_lock.hh).
+                disk_lock = FileLock::acquire(disk_path + ".lock");
+                arena = TraceArena::fromFile(disk_path, key, &error);
+            }
+            if (arena != nullptr)
+                from_disk = true;
         }
-        if (arena != nullptr) {
-            from_disk = true;
-        } else {
+        if (arena == nullptr) {
             arena = TraceArena::record(profile, params, seed, count);
             if (!disk_path.empty()) {
-                // Best-effort persistence: write to a temp name, then
-                // atomically rename so concurrent processes never see
-                // a half-written arena.
-                const std::string tmp = disk_path + ".tmp";
+                // Best-effort persistence: write to a PID-unique temp
+                // name, then atomically rename so concurrent processes
+                // never see a half-written arena (the rename also
+                // resolves any race left by a broken lock).
+                const std::string tmp =
+                    disk_path + ".tmp." + std::to_string(::getpid());
                 std::string error;
                 if (writePackedTraceFile(tmp, arena->view(), key,
                                          &error)) {

@@ -11,6 +11,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <string_view>
 
 namespace cameo
 {
@@ -85,6 +86,24 @@ mix64(std::uint64_t x)
     x *= 0x94d049bb133111ebULL;
     x ^= x >> 31;
     return x;
+}
+
+/**
+ * FNV-1a over a byte string. Used wherever a stable, portable 64-bit
+ * digest of a cache/shard key is needed (trace-arena file names,
+ * warm-start file names, shard assignment) — stability across runs and
+ * hosts is the point, so this must never change.
+ */
+constexpr std::uint64_t
+fnv1a64(std::string_view text,
+        std::uint64_t seed = 1469598103934665603ULL)
+{
+    std::uint64_t hash = seed;
+    for (const char c : text) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 1099511628211ULL;
+    }
+    return hash;
 }
 
 } // namespace cameo

@@ -1,0 +1,123 @@
+#include "util/fs_lock.hh"
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "util/env.hh"
+
+namespace cameo
+{
+
+namespace
+{
+
+/** Poll period while waiting on a held lock. */
+constexpr unsigned kPollMs = 5;
+
+/**
+ * True when the lock file at @p path names a PID that provably no
+ * longer exists. A vanished file counts as dead (the owner released
+ * between our open attempts); an unreadable or malformed file does
+ * not — only the wait timeout breaks those.
+ */
+bool
+ownerDead(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return errno == ENOENT;
+    char buf[32];
+    const ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+    ::close(fd);
+    if (n <= 0)
+        return false;
+    std::size_t len = static_cast<std::size_t>(n);
+    while (len > 0 && (buf[len - 1] == '\n' || buf[len - 1] == '\r'))
+        --len;
+    std::uint64_t pid = 0;
+    if (parseUintStrict(std::string_view(buf, len), pid) !=
+            ParseUintStatus::Ok ||
+        pid == 0) {
+        return false;
+    }
+    return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+} // namespace
+
+FileLock::FileLock(FileLock &&other) noexcept
+    : path_(std::exchange(other.path_, {}))
+{
+}
+
+FileLock &
+FileLock::operator=(FileLock &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        path_ = std::exchange(other.path_, {});
+    }
+    return *this;
+}
+
+FileLock::~FileLock()
+{
+    release();
+}
+
+void
+FileLock::release()
+{
+    if (!path_.empty()) {
+        ::unlink(path_.c_str());
+        path_.clear();
+    }
+}
+
+FileLock
+FileLock::acquire(const std::string &path, unsigned stale_timeout_ms)
+{
+    const std::string pid_text = std::to_string(::getpid()) + "\n";
+    unsigned waited_ms = 0;
+    for (;;) {
+        const int fd = ::open(path.c_str(),
+                              O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            // Best-effort PID stamp; waiters that cannot read it fall
+            // back to the timeout.
+            ssize_t written = 0;
+            while (written <
+                   static_cast<ssize_t>(pid_text.size())) {
+                const ssize_t w =
+                    ::write(fd, pid_text.data() + written,
+                            pid_text.size() -
+                                static_cast<std::size_t>(written));
+                if (w <= 0)
+                    break;
+                written += w;
+            }
+            ::close(fd);
+            return FileLock(path);
+        }
+        if (errno != EEXIST)
+            return FileLock(); // Advisory: proceed unlocked.
+        if (ownerDead(path) || waited_ms >= stale_timeout_ms) {
+            // Break the stale lock and race for it again; the O_EXCL
+            // create above arbitrates between concurrent breakers.
+            ::unlink(path.c_str());
+            waited_ms = 0;
+            continue;
+        }
+        ::usleep(kPollMs * 1000);
+        waited_ms += kPollMs;
+    }
+}
+
+} // namespace cameo

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Gating shard-identity test: cameo-shard's merged output must be
+byte-for-byte identical to the in-process reference at every shard
+count, under adversarial completion interleaving, and after a
+killed-and-rerun shard.
+
+Usage: test_shard_identity.py <path-to-cameo-shard>
+
+The sweep spec is deliberately small (3 workloads x 2 orgs, 3000
+accesses, 2 cores, Queued pipeline) so the whole test — one reference
+run plus fleets of 1, 2, 4 and 8 shards plus the stagger and kill
+scenarios — stays within a CI-friendly budget.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+SPEC = [
+    "--workloads=milc,mcf,astar",
+    "--orgs=cameo,cache",
+    "--accesses=3000",
+    "--cores=2",
+    "--timing=queued",
+]
+
+failures = 0
+
+
+def check(name, ok, detail=""):
+    global failures
+    status = "ok" if ok else "FAIL"
+    print(f"  [{status}] {name}" + (f" — {detail}" if detail and not ok else ""))
+    if not ok:
+        failures += 1
+
+
+def run(binary, args, outdir, tag, env=None):
+    """Run cameo-shard writing CSV+JSON under outdir; returns (rc, out, json)."""
+    csv = os.path.join(outdir, f"{tag}.csv")
+    summary = os.path.join(outdir, f"{tag}.json")
+    cmd = [binary] + SPEC + [f"--out={csv}", f"--summary-json={summary}"] + args
+    full_env = dict(os.environ)
+    # Shield the test from ambient shard/test-hook settings.
+    for var in (
+        "CAMEO_SHARDS",
+        "CAMEO_SHARD_INDEX",
+        "CAMEO_SHARD_RESULT_FD",
+        "CAMEO_SHARD_STAGGER_MS",
+        "CAMEO_SHARD_TEST_EXIT_SHARD",
+        "CAMEO_SHARD_TEST_EXIT_AFTER",
+    ):
+        full_env.pop(var, None)
+    full_env.update(env or {})
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=full_env)
+    return proc, csv, summary
+
+
+def read(path):
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <cameo-shard binary>")
+        return 2
+    binary = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="cameo_shard_identity.") as outdir:
+        print("shard-identity: in-process reference")
+        proc, ref_csv, ref_json = run(binary, ["--shards=0"], outdir, "ref")
+        check("reference run succeeds", proc.returncode == 0, proc.stderr)
+        ref_csv_bytes = read(ref_csv)
+        ref_json_bytes = read(ref_json)
+        check("reference wrote CSV", ref_csv_bytes is not None)
+        check("reference wrote summary", ref_json_bytes is not None)
+        if failures:
+            return 1
+
+        print("shard-identity: fleets of 1, 2, 4, 8 shards")
+        for shards in (1, 2, 4, 8):
+            proc, csv, summary = run(
+                binary, [f"--shards={shards}"], outdir, f"s{shards}"
+            )
+            check(f"shards={shards} succeeds", proc.returncode == 0, proc.stderr)
+            check(
+                f"shards={shards} CSV byte-identical",
+                read(csv) == ref_csv_bytes,
+            )
+            check(
+                f"shards={shards} summary byte-identical",
+                read(summary) == ref_json_bytes,
+            )
+
+        print("shard-identity: reversed completion order (staggered workers)")
+        proc, csv, summary = run(
+            binary,
+            ["--shards=4"],
+            outdir,
+            "stagger",
+            env={"CAMEO_SHARD_STAGGER_MS": "200"},
+        )
+        check("staggered fleet succeeds", proc.returncode == 0, proc.stderr)
+        check("staggered CSV byte-identical", read(csv) == ref_csv_bytes)
+        check(
+            "staggered summary byte-identical", read(summary) == ref_json_bytes
+        )
+
+        print("shard-identity: killed shard fails loudly, rerun is identical")
+        proc, csv, summary = run(
+            binary,
+            ["--shards=4"],
+            outdir,
+            "killed",
+            env={
+                "CAMEO_SHARD_TEST_EXIT_SHARD": "1",
+                "CAMEO_SHARD_TEST_EXIT_AFTER": "1",
+            },
+        )
+        check("killed fleet exits nonzero", proc.returncode != 0)
+        check(
+            "failure roster names shard 1",
+            "shard 1" in proc.stderr,
+            proc.stderr,
+        )
+        check("killed fleet writes no CSV", read(csv) is None)
+        check("killed fleet writes no summary", read(summary) is None)
+
+        proc, csv, summary = run(binary, ["--shards=4"], outdir, "rerun")
+        check("clean rerun succeeds", proc.returncode == 0, proc.stderr)
+        check("rerun CSV byte-identical", read(csv) == ref_csv_bytes)
+        check("rerun summary byte-identical", read(summary) == ref_json_bytes)
+
+    if failures:
+        print(f"shard-identity: {failures} check(s) FAILED")
+        return 1
+    print("shard-identity: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

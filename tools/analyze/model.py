@@ -11,7 +11,7 @@ from pathlib import Path
 from .lexer import Lexed
 
 CXX_SUFFIXES = {".hh", ".cc", ".cpp", ".hpp"}
-SOURCE_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 
 # Subtrees never analyzed as part of the repo proper.  The analyzer's
 # own test fixtures deliberately violate every pass.
